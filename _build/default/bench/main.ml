@@ -1,0 +1,128 @@
+(* Benchmark harness.
+
+   Phase 1 regenerates every table and figure of the paper (plus the
+   X-series extensions) and prints them — the data behind
+   EXPERIMENTS.md.  Phase 2 runs Bechamel micro-benchmarks: one
+   Test.make per experiment kernel (warm, memoised inputs) and one per
+   substrate hot path. *)
+
+module Units = Nmcache_physics.Units
+module Component = Nmcache_geometry.Component
+module Cache_model = Nmcache_geometry.Cache_model
+module Fitted_cache = Nmcache_fit.Fitted_cache
+module Cache = Nmcache_cachesim.Cache
+module Mattson = Nmcache_cachesim.Mattson
+module Replacement = Nmcache_cachesim.Replacement
+module Rng = Nmcache_numerics.Rng
+module Grid = Nmcache_opt.Grid
+module Scheme = Nmcache_opt.Scheme
+module Gen = Nmcache_workload.Gen
+module Access = Nmcache_workload.Access
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: reproduction                                                *)
+
+let reproduce ctx =
+  print_endline "==================================================================";
+  print_endline " Phase 1: paper reproduction (every table and figure)";
+  print_endline "==================================================================";
+  List.iter
+    (fun (e : Core.Experiments.t) ->
+      let t0 = Unix.gettimeofday () in
+      Printf.printf "\n### %s — %s (%s)\n\n" e.Core.Experiments.id
+        e.Core.Experiments.title e.Core.Experiments.paper_ref;
+      Core.Report.print (e.Core.Experiments.run ctx);
+      Printf.printf "[%s completed in %.1f s]\n" e.Core.Experiments.id
+        (Unix.gettimeofday () -. t0))
+    Core.Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: Bechamel micro-benchmarks                                   *)
+
+let microbenchmarks ctx =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let tech = ctx.Core.Context.tech in
+  let grid = ctx.Core.Context.grid in
+  let l1_fitted = Core.Context.fitted ctx (Core.Context.l1_config ctx ()) in
+  let budget = 1.3 *. Scheme.fastest_access_time l1_fitted ~grid in
+  (* pre-built inputs shared by the closures *)
+  let rng = Rng.create ~seed:1L in
+  let cache =
+    Cache.create ~size_bytes:(16 * 1024) ~assoc:4 ~block_bytes:64
+      ~policy:Replacement.Lru ()
+  in
+  let gen = Nmcache_workload.Registry.build "spec2000-mix" in
+  let addresses = Array.map (fun (a : Access.t) -> a.Access.addr) (Gen.take gen 4096) in
+  let profiler = Mattson.create ~block_bytes:64 () in
+  let circuit = Cache_model.make tech (Core.Context.l1_config ctx ()) in
+  let ref_knob = Core.Context.reference_knob ctx in
+  let substrate =
+    [
+      Test.make ~name:"rng/xoshiro-bits64" (Staged.stage (fun () -> Rng.bits64 rng));
+      Test.make ~name:"cachesim/4k-accesses"
+        (Staged.stage (fun () ->
+             Array.iter (fun a -> ignore (Cache.access cache a ~write:false)) addresses));
+      Test.make ~name:"mattson/4k-accesses"
+        (Staged.stage (fun () -> Array.iter (fun a -> Mattson.access profiler a) addresses));
+      Test.make ~name:"circuit/evaluate-component"
+        (Staged.stage (fun () ->
+             ignore (Cache_model.evaluate_component circuit Component.Array_sense ref_knob)));
+      Test.make ~name:"fit/characterize+fit-16KB"
+        (Staged.stage (fun () -> ignore (Fitted_cache.characterize_and_fit circuit)));
+    ]
+  in
+  let experiments =
+    [
+      (* one Test.make per paper table/figure kernel (warm caches) *)
+      Test.make ~name:"fig1/series"
+        (Staged.stage (fun () -> ignore (Core.Single_cache.figure1_series ctx)));
+      Test.make ~name:"schemes/minimize-II"
+        (Staged.stage (fun () ->
+             ignore
+               (Scheme.minimize_leakage l1_fitted ~grid ~scheme:Scheme.Split
+                  ~delay_budget:budget)));
+      Test.make ~name:"schemes/minimize-I-dp"
+        (Staged.stage (fun () ->
+             ignore
+               (Scheme.minimize_leakage l1_fitted ~grid ~scheme:Scheme.Independent
+                  ~delay_budget:budget)));
+      Test.make ~name:"l2sweep/single-pair"
+        (Staged.stage (fun () ->
+             ignore (Core.Two_level.l2_sweep ctx ~scheme:Scheme.Uniform ())));
+      Test.make ~name:"l1sweep/rows"
+        (Staged.stage (fun () -> ignore (Core.Two_level.l1_sweep_rows ctx ())));
+      Test.make ~name:"fig2/tuple-curves"
+        (Staged.stage (fun () -> ignore (Core.Tuple_study.figure2_curves ctx)));
+    ]
+  in
+  let tests = Test.make_grouped ~name:"nmcache" (substrate @ experiments) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "";
+  print_endline "==================================================================";
+  print_endline " Phase 2: Bechamel micro-benchmarks (monotonic clock)";
+  print_endline "==================================================================";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+      Printf.printf "  %-34s %14s/run   (r2 %.4f)\n" name
+        (Units.to_engineering_string ~unit:"s" (time_ns *. 1e-9))
+        r2)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let ctx = if quick then Core.Context.quick () else Core.Context.default () in
+  let t0 = Unix.gettimeofday () in
+  reproduce ctx;
+  microbenchmarks ctx;
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,143 @@
+(* ppcache — CLI for the DATE'05 power-performance cache study.
+
+   Subcommands: run (any experiment by id), list, characterize (fit the
+   compact models of one cache and print them), simulate (miss rates of
+   one workload on one hierarchy), workloads. *)
+
+module Units = Nmcache_physics.Units
+module Config = Nmcache_geometry.Config
+module Cache_model = Nmcache_geometry.Cache_model
+module Component = Nmcache_geometry.Component
+module Fitted_cache = Nmcache_fit.Fitted_cache
+module Model = Nmcache_fit.Model
+module Missrate = Nmcache_workload.Missrate
+module Registry = Nmcache_workload.Registry
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Use the reduced context (shorter traces, coarser grids)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let context quick = if quick then Core.Context.quick () else Core.Context.default ()
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_experiment ids quick csv =
+  let ctx = context quick in
+  let targets =
+    match ids with
+    | [] | [ "all" ] -> Core.Experiments.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Core.Experiments.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; try `ppcache list`\n" id;
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (e : Core.Experiments.t) ->
+      let artefacts = e.Core.Experiments.run ctx in
+      if csv then print_string (Core.Report.render_csv artefacts)
+      else begin
+        Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id
+          e.Core.Experiments.title e.Core.Experiments.paper_ref;
+        Core.Report.print artefacts
+      end)
+    targets
+
+let run_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (or `all').")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of formatted tables.")
+  in
+  let doc = "Run one or more experiments and print their tables/series." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiment $ ids $ quick_arg $ csv)
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_experiments () =
+  List.iter
+    (fun (e : Core.Experiments.t) ->
+      Printf.printf "%-16s %-12s %s\n" e.Core.Experiments.id
+        ("[" ^ e.Core.Experiments.paper_ref ^ "]")
+        e.Core.Experiments.title)
+    Core.Experiments.all
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+(* --- characterize ---------------------------------------------------- *)
+
+let characterize size_kb assoc block =
+  let tech = Nmcache_device.Tech.bptm65 in
+  let config = Config.make ~size_bytes:(size_kb * 1024) ~assoc ~block_bytes:block () in
+  let model = Cache_model.make tech config in
+  let fitted = Fitted_cache.characterize_and_fit model in
+  Format.printf "cache %a, %a@." Config.pp config Nmcache_geometry.Org.pp
+    (Cache_model.org model);
+  let w, h = Cache_model.floorplan model in
+  Format.printf "floorplan %.0f x %.0f um@." (Units.to_um w) (Units.to_um h);
+  List.iter
+    (fun (cm : Fitted_cache.component_model) ->
+      Format.printf "@.%s:@."
+        (Component.kind_name cm.Fitted_cache.kind);
+      Format.printf "  leakage: %a  [%a]@." Model.pp_leak cm.Fitted_cache.leak
+        Model.pp_quality cm.Fitted_cache.leak_quality;
+      Format.printf "  delay:   %a  [%a]@." Model.pp_delay cm.Fitted_cache.delay
+        Model.pp_quality cm.Fitted_cache.delay_quality;
+      Format.printf "  energy:  %a@." Model.pp_energy cm.Fitted_cache.energy)
+    (Fitted_cache.components fitted)
+
+let characterize_cmd =
+  let size = Arg.(value & opt int 16 & info [ "size" ] ~docv:"KB" ~doc:"Capacity in KB.") in
+  let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity.") in
+  let block = Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.") in
+  let doc = "Characterise a cache over the knob grid and print the fitted compact models." in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const characterize $ size $ assoc $ block)
+
+(* --- simulate --------------------------------------------------------- *)
+
+let simulate workload l1_kb l2_kb n =
+  let p =
+    Missrate.simulate ~workload ~l1_size:(l1_kb * 1024) ~l2_size:(l2_kb * 1024) ~n ()
+  in
+  Printf.printf "%s over %d accesses (L1 %dKB, L2 %dKB):\n" workload n l1_kb l2_kb;
+  Printf.printf "  L1 miss rate       %.3f%%\n" (100.0 *. p.Missrate.l1_miss);
+  Printf.printf "  L2 local miss rate %.3f%%\n" (100.0 *. p.Missrate.l2_local);
+  Printf.printf "  L2 global miss     %.3f%%\n" (100.0 *. p.Missrate.l2_global)
+
+let simulate_cmd =
+  let workload =
+    Arg.(value & opt string "spec2000-mix" & info [ "workload" ] ~doc:"Workload name.")
+  in
+  let l1 = Arg.(value & opt int 16 & info [ "l1" ] ~docv:"KB" ~doc:"L1 size in KB.") in
+  let l2 = Arg.(value & opt int 1024 & info [ "l2" ] ~docv:"KB" ~doc:"L2 size in KB.") in
+  let n = Arg.(value & opt int 2_000_000 & info [ "n"; "accesses" ] ~doc:"Trace length.") in
+  let doc = "Simulate a workload through an L1+L2 hierarchy and print miss rates." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ workload $ l1 $ l2 $ n)
+
+(* --- workloads --------------------------------------------------------- *)
+
+let workloads () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      Printf.printf "%-16s %s\n" e.Registry.name e.Registry.description)
+    Registry.all
+
+let workloads_cmd =
+  let doc = "List the synthetic workload generators." in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads $ const ())
+
+let main =
+  let doc = "power-performance trade-offs in nanometer-scale multi-level caches (DATE'05 reproduction)" in
+  Cmd.group (Cmd.info "ppcache" ~version:"1.0.0" ~doc)
+    [ run_cmd; list_cmd; characterize_cmd; simulate_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval main)

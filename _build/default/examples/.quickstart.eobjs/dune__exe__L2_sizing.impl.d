@@ -1,0 +1,1 @@
+examples/l2_sizing.ml: Array Core Format Nmcache_energy Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics Nmcache_workload Printf

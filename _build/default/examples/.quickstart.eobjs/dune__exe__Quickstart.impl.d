@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Nmcache_device Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics

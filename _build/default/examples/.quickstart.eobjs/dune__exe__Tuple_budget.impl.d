@@ -1,0 +1,1 @@
+examples/tuple_budget.ml: Array Core Float List Nmcache_opt Nmcache_physics Printf String

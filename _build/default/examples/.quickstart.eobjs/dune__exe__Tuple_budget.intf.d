@@ -1,0 +1,1 @@
+examples/tuple_budget.mli:

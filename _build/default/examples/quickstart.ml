@@ -1,0 +1,66 @@
+(* Quickstart: characterise one cache, fit the paper's compact models,
+   and minimise its leakage under a delay constraint.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Units = Nmcache_physics.Units
+module Tech = Nmcache_device.Tech
+module Config = Nmcache_geometry.Config
+module Cache_model = Nmcache_geometry.Cache_model
+module Component = Nmcache_geometry.Component
+module Fitted_cache = Nmcache_fit.Fitted_cache
+module Model = Nmcache_fit.Model
+module Grid = Nmcache_opt.Grid
+module Scheme = Nmcache_opt.Scheme
+
+let () =
+  (* 1. a 65nm technology and a 16KB, 4-way, 64B-block cache *)
+  let tech = Tech.bptm65 in
+  let config = Config.make ~size_bytes:(16 * 1024) ~assoc:4 ~block_bytes:64 () in
+  let circuit = Cache_model.make tech config in
+  Format.printf "technology: %a@." Tech.pp tech;
+  Format.printf "cache: %a organised as %a@.@." Config.pp config
+    Nmcache_geometry.Org.pp (Cache_model.org circuit);
+
+  (* 2. characterise the four components over the (Vth, Tox) grid and
+        fit the paper's compact models *)
+  let fitted = Fitted_cache.characterize_and_fit circuit in
+  List.iter
+    (fun (cm : Fitted_cache.component_model) ->
+      Format.printf "%-13s %a@." (Component.kind_name cm.Fitted_cache.kind)
+        Model.pp_leak cm.Fitted_cache.leak)
+    (Fitted_cache.components fitted);
+
+  (* 3. evaluate one manual assignment: conservative cells, fast
+        peripherals (the paper's scheme II intuition) *)
+  let cell = Component.knob ~vth:0.45 ~tox:(Units.angstrom 14.0) in
+  let periph = Component.knob ~vth:0.25 ~tox:(Units.angstrom 11.0) in
+  let est = Fitted_cache.eval fitted (Component.split ~cell ~periphery:periph) in
+  Format.printf "@.manual scheme-II assignment: access %.0f ps, leakage %.3f mW@."
+    (Units.to_ps est.Fitted_cache.access_time)
+    (Units.to_mw est.Fitted_cache.leak_w);
+
+  (* 4. let the optimiser find the true optimum under the same delay *)
+  let grid = Grid.make tech in
+  (match
+     Scheme.minimize_leakage fitted ~grid ~scheme:Scheme.Split
+       ~delay_budget:est.Fitted_cache.access_time
+   with
+  | None -> Format.printf "no feasible assignment@."
+  | Some r ->
+    Format.printf "optimised scheme II:          access %.0f ps, leakage %.3f mW@."
+      (Units.to_ps r.Scheme.access_time)
+      (Units.to_mw r.Scheme.leak_w);
+    Format.printf "  assignment: %a@." Component.pp_assignment r.Scheme.assignment);
+
+  (* 5. and compare all three schemes at a 20%-relaxed budget *)
+  let budget = 1.2 *. Scheme.fastest_access_time fitted ~grid in
+  Format.printf "@.budget %.0f ps:@." (Units.to_ps budget);
+  List.iter
+    (fun scheme ->
+      match Scheme.minimize_leakage fitted ~grid ~scheme ~delay_budget:budget with
+      | None -> Format.printf "  scheme %-3s infeasible@." (Scheme.name scheme)
+      | Some r ->
+        Format.printf "  scheme %-3s %.3f mW@." (Scheme.name scheme)
+          (Units.to_mw r.Scheme.leak_w))
+    Scheme.all

@@ -1,0 +1,1 @@
+lib/cachesim/cache.ml: Address Array Bytes Hashtbl Int64 Nmcache_numerics Option Replacement Stats

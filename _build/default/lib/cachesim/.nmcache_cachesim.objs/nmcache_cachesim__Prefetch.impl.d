@@ -1,0 +1,1 @@
+lib/cachesim/prefetch.ml: Cache Hashtbl Hierarchy

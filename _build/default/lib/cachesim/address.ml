@@ -1,0 +1,11 @@
+type t = int
+
+let log2 n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Address.log2: not a power of two";
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let block_of addr ~block_bytes = addr lsr log2 block_bytes
+let set_of addr ~block_bytes ~sets = block_of addr ~block_bytes land (sets - 1)
+let tag_of addr ~block_bytes ~sets = block_of addr ~block_bytes lsr log2 sets
+let of_block b ~block_bytes = b lsl log2 block_bytes

@@ -1,0 +1,23 @@
+(** Address arithmetic for cache simulation.
+
+    Addresses are byte addresses carried in OCaml [int]s (63-bit on
+    64-bit platforms — ample for a 40-bit physical space). *)
+
+type t = int
+
+val block_of : t -> block_bytes:int -> int
+(** Block number = address / block size (block size must be a power of
+    two; division is a shift). *)
+
+val set_of : t -> block_bytes:int -> sets:int -> int
+(** Set index of the address. *)
+
+val tag_of : t -> block_bytes:int -> sets:int -> int
+(** Tag (block number with the index bits removed). *)
+
+val log2 : int -> int
+(** Exact log2 of a power of two.  Raises [Invalid_argument]
+    otherwise. *)
+
+val of_block : int -> block_bytes:int -> t
+(** First byte address of a block number. *)

@@ -1,0 +1,188 @@
+module Rng = Nmcache_numerics.Rng
+
+type t = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  sets : int;
+  policy : Replacement.t;
+  tags : int array;        (* sets * assoc; -1 = invalid; holds tag *)
+  dirty : Bytes.t;         (* sets * assoc booleans *)
+  stamp : int array;       (* LRU recency / FIFO install order *)
+  plru : int array;        (* per-set PLRU tree bits *)
+  rng : Rng.t;
+  mutable clock : int;
+  stats : Stats.t;
+  seen : (int, unit) Hashtbl.t;
+}
+
+type outcome = {
+  hit : bool;
+  victim : int option;
+  victim_dirty : bool;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~size_bytes ~assoc ~block_bytes ~policy () =
+  if not (is_pow2 size_bytes) then invalid_arg "Cache.create: size not a power of two";
+  if not (is_pow2 block_bytes) || block_bytes < 8 then
+    invalid_arg "Cache.create: bad block size";
+  if assoc < 1 then invalid_arg "Cache.create: assoc < 1";
+  if size_bytes < assoc * block_bytes then invalid_arg "Cache.create: capacity < one set";
+  let sets = size_bytes / (assoc * block_bytes) in
+  if not (is_pow2 sets) then invalid_arg "Cache.create: set count not a power of two";
+  (match policy with
+  | Replacement.Plru when not (is_pow2 assoc) ->
+    invalid_arg "Cache.create: PLRU requires power-of-two associativity"
+  | Replacement.Lru | Replacement.Fifo | Replacement.Random _ | Replacement.Plru -> ());
+  let seed = match policy with Replacement.Random s -> s | _ -> 0 in
+  {
+    size_bytes;
+    assoc;
+    block_bytes;
+    sets;
+    policy;
+    tags = Array.make (sets * assoc) (-1);
+    dirty = Bytes.make (sets * assoc) '\000';
+    stamp = Array.make (sets * assoc) 0;
+    plru = Array.make sets 0;
+    rng = Rng.create ~seed:(Int64.of_int seed);
+    clock = 0;
+    stats = Stats.create ();
+    seen = Hashtbl.create 4096;
+  }
+
+let size_bytes t = t.size_bytes
+let assoc t = t.assoc
+let block_bytes t = t.block_bytes
+let sets t = t.sets
+let policy t = t.policy
+let stats t = t.stats
+let reset_stats t = Stats.reset t.stats
+
+let locate t addr =
+  let set = Address.set_of addr ~block_bytes:t.block_bytes ~sets:t.sets in
+  let tag = Address.tag_of addr ~block_bytes:t.block_bytes ~sets:t.sets in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.assoc in
+  let rec go w =
+    if w >= t.assoc then None
+    else if t.tags.(base + w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+(* PLRU: the tree bits of a set select a way; touching a way points the
+   bits away from it. *)
+let plru_victim t set =
+  let bits = t.plru.(set) in
+  (* internal nodes are 0 .. assoc-2, leaves assoc-1 .. 2*assoc-2 *)
+  let rec descend node =
+    if node >= t.assoc - 1 then node - (t.assoc - 1)
+    else begin
+      let bit = (bits lsr node) land 1 in
+      descend ((2 * node) + 1 + bit)
+    end
+  in
+  if t.assoc = 1 then 0 else descend 0
+
+let plru_touch t set way =
+  if t.assoc > 1 then begin
+    let bits = ref t.plru.(set) in
+    (* walk from the leaf up, setting each internal bit away from the
+       taken direction *)
+    let node = ref (way + t.assoc - 1) in
+    while !node > 0 do
+      let parent = (!node - 1) / 2 in
+      let went_right = !node = (2 * parent) + 2 in
+      let mask = 1 lsl parent in
+      if went_right then bits := !bits land lnot mask else bits := !bits lor mask;
+      node := parent
+    done;
+    t.plru.(set) <- !bits
+  end
+
+let choose_victim t set =
+  let base = set * t.assoc in
+  (* prefer an invalid way *)
+  let rec find_invalid w =
+    if w >= t.assoc then None else if t.tags.(base + w) = -1 then Some w else find_invalid (w + 1)
+  in
+  match find_invalid 0 with
+  | Some w -> w
+  | None -> (
+    match t.policy with
+    | Replacement.Lru | Replacement.Fifo ->
+      let best = ref 0 in
+      for w = 1 to t.assoc - 1 do
+        if t.stamp.(base + w) < t.stamp.(base + !best) then best := w
+      done;
+      !best
+    | Replacement.Random _ -> Rng.int t.rng ~bound:t.assoc
+    | Replacement.Plru -> plru_victim t set)
+
+let touch t set way =
+  let base = set * t.assoc in
+  (match t.policy with
+  | Replacement.Lru -> t.stamp.(base + way) <- t.clock
+  | Replacement.Fifo | Replacement.Random _ -> ()
+  | Replacement.Plru -> plru_touch t set way);
+  t.clock <- t.clock + 1
+
+let install t set way tag ~write =
+  let base = set * t.assoc in
+  t.tags.(base + way) <- tag;
+  Bytes.set t.dirty (base + way) (if write then '\001' else '\000');
+  (match t.policy with
+  | Replacement.Fifo -> t.stamp.(base + way) <- t.clock
+  | Replacement.Lru -> t.stamp.(base + way) <- t.clock
+  | Replacement.Random _ | Replacement.Plru -> ());
+  touch t set way
+
+let block_number_of t set tag = (tag * t.sets) + set
+
+let access t addr ~write =
+  let set, tag = locate t addr in
+  let block = Address.block_of addr ~block_bytes:t.block_bytes in
+  let cold = not (Hashtbl.mem t.seen block) in
+  if cold then Hashtbl.replace t.seen block ();
+  match find_way t set tag with
+  | Some way ->
+    Stats.record t.stats ~hit:true ~write;
+    if write then Bytes.set t.dirty ((set * t.assoc) + way) '\001';
+    touch t set way;
+    { hit = true; victim = None; victim_dirty = false }
+  | None ->
+    Stats.record t.stats ~hit:false ~write;
+    if cold then t.stats.Stats.cold_misses <- t.stats.Stats.cold_misses + 1;
+    let way = choose_victim t set in
+    let base = set * t.assoc in
+    let old_tag = t.tags.(base + way) in
+    let victim, victim_dirty =
+      if old_tag = -1 then (None, false)
+      else begin
+        t.stats.Stats.evictions <- t.stats.Stats.evictions + 1;
+        let d = Bytes.get t.dirty (base + way) = '\001' in
+        if d then t.stats.Stats.writebacks <- t.stats.Stats.writebacks + 1;
+        (Some (block_number_of t set old_tag), d)
+      end
+    in
+    install t set way tag ~write;
+    { hit = false; victim; victim_dirty }
+
+let contains t addr =
+  let set, tag = locate t addr in
+  Option.is_some (find_way t set tag)
+
+let valid_blocks t =
+  let acc = ref [] in
+  for set = 0 to t.sets - 1 do
+    for w = 0 to t.assoc - 1 do
+      let tag = t.tags.((set * t.assoc) + w) in
+      if tag <> -1 then acc := block_number_of t set tag :: !acc
+    done
+  done;
+  !acc

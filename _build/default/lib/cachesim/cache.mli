@@ -1,0 +1,44 @@
+(** A set-associative cache with pluggable replacement.
+
+    The model is storage-only (tags, validity, dirtiness); data values
+    are never simulated.  Writes are write-back / write-allocate, the
+    usual configuration for the caches the paper studies. *)
+
+type t
+
+type outcome = {
+  hit : bool;
+  victim : int option;        (** evicted block number, if any *)
+  victim_dirty : bool;        (** the eviction caused a write-back *)
+}
+
+val create :
+  size_bytes:int ->
+  assoc:int ->
+  block_bytes:int ->
+  policy:Replacement.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] unless sizes are powers of two,
+    [assoc >= 1], [block_bytes >= 8], and capacity holds at least one
+    set; PLRU additionally requires power-of-two associativity. *)
+
+val size_bytes : t -> int
+val assoc : t -> int
+val block_bytes : t -> int
+val sets : t -> int
+val policy : t -> Replacement.t
+val stats : t -> Stats.t
+
+val access : t -> int -> write:bool -> outcome
+(** Look up the byte address; on a miss the block is installed and a
+    victim (possibly) evicted.  Updates statistics. *)
+
+val contains : t -> int -> bool
+(** Whether the block holding this byte address is currently resident
+    (no statistics side effects, no recency update). *)
+
+val reset_stats : t -> unit
+
+val valid_blocks : t -> int list
+(** Block numbers currently resident (unordered); for tests. *)

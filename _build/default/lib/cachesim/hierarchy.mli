@@ -1,0 +1,39 @@
+(** Two-level cache hierarchy over a main memory.
+
+    Inclusive-style L1 + L2: every access probes L1; L1 misses probe
+    L2; L2 misses go to memory.  Dirty L1 victims are written back into
+    L2 (counted as an L2 write access); dirty L2 victims are written
+    back to memory.  This is the architectural simulation the paper's
+    Section 5 relies on for miss-rate statistics. *)
+
+type t
+
+type outcome = {
+  l1_hit : bool;
+  l2_hit : bool;        (** false when [l1_hit] (not probed) or L2 missed *)
+  memory_access : bool; (** the access reached main memory *)
+}
+
+val create : l1:Cache.t -> l2:Cache.t -> t
+(** Raises [Invalid_argument] if the L2 block size differs from L1's
+    (refills would be ill-defined) or L2 is smaller than L1. *)
+
+val access : t -> int -> write:bool -> outcome
+
+val l1 : t -> Cache.t
+val l2 : t -> Cache.t
+
+val memory_reads : t -> int
+(** Demand fetches that reached memory. *)
+
+val memory_writes : t -> int
+(** Write-backs that reached memory. *)
+
+val l1_miss_rate : t -> float
+(** Local L1 miss rate. *)
+
+val l2_local_miss_rate : t -> float
+(** L2 misses / L2 accesses. *)
+
+val l2_global_miss_rate : t -> float
+(** L2 misses / L1 accesses. *)

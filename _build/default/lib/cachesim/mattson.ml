@@ -1,0 +1,122 @@
+(* Fenwick (binary indexed) tree over timestamps.  tree.(i) covers a
+   range ending at i (1-based).  A '1' sits at the last-access time of
+   each resident block; suffix_count(time) counts blocks accessed
+   strictly after [time], which is exactly the reuse distance. *)
+
+type t = {
+  block_bytes : int;
+  mutable tree : int array;     (* 1-based Fenwick array *)
+  mutable capacity : int;
+  mutable time : int;           (* next timestamp, 0-based *)
+  mutable live : int;           (* markers in the tree *)
+  last_access : (int, int) Hashtbl.t;  (* block -> timestamp *)
+  dist_hist : (int, int) Hashtbl.t;    (* distance -> count *)
+  mutable accesses : int;              (* measured accesses *)
+  mutable measuring : bool;
+  mutable cold_measured : int;
+}
+
+let create ?(initial_capacity = 1 lsl 16) ~block_bytes () =
+  if block_bytes < 8 || block_bytes land (block_bytes - 1) <> 0 then
+    invalid_arg "Mattson.create: bad block_bytes";
+  {
+    block_bytes;
+    tree = Array.make (initial_capacity + 1) 0;
+    capacity = initial_capacity;
+    time = 0;
+    live = 0;
+    last_access = Hashtbl.create 4096;
+    dist_hist = Hashtbl.create 256;
+    accesses = 0;
+    measuring = true;
+    cold_measured = 0;
+  }
+
+let fen_add t idx delta =
+  (* idx is a 0-based timestamp *)
+  let i = ref (idx + 1) in
+  while !i <= t.capacity do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+let fen_prefix t idx =
+  (* count of markers at timestamps <= idx (0-based) *)
+  let acc = ref 0 in
+  let i = ref (idx + 1) in
+  while !i > 0 do
+    acc := !acc + t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+(* Renumber timestamps 0..live-1 preserving order, rebuilding the tree.
+   Triggered when the timestamp space fills; amortised O(B log B). *)
+let compact t =
+  let entries =
+    Hashtbl.fold (fun block time acc -> (time, block) :: acc) t.last_access []
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let n = List.length sorted in
+  let new_capacity = max (1 lsl 16) (4 * n) in
+  t.tree <- Array.make (new_capacity + 1) 0;
+  t.capacity <- new_capacity;
+  t.time <- 0;
+  t.live <- 0;
+  Hashtbl.reset t.last_access;
+  List.iter
+    (fun (_, block) ->
+      Hashtbl.replace t.last_access block t.time;
+      fen_add t t.time 1;
+      t.live <- t.live + 1;
+      t.time <- t.time + 1)
+    sorted
+
+let bump_hist t dist =
+  let cur = Option.value (Hashtbl.find_opt t.dist_hist dist) ~default:0 in
+  Hashtbl.replace t.dist_hist dist (cur + 1)
+
+let set_measuring t flag = t.measuring <- flag
+
+let access t addr =
+  if t.time >= t.capacity then compact t;
+  let block = addr / t.block_bytes in
+  if t.measuring then t.accesses <- t.accesses + 1;
+  (match Hashtbl.find_opt t.last_access block with
+  | Some prev ->
+    (* distance = markers strictly after prev = live - prefix(prev) *)
+    if t.measuring then begin
+      let dist = t.live - fen_prefix t prev in
+      bump_hist t dist
+    end;
+    fen_add t prev (-1);
+    t.live <- t.live - 1
+  | None -> if t.measuring then t.cold_measured <- t.cold_measured + 1);
+  Hashtbl.replace t.last_access block t.time;
+  fen_add t t.time 1;
+  t.live <- t.live + 1;
+  t.time <- t.time + 1
+
+let accesses t = t.accesses
+let distinct_blocks t = Hashtbl.length t.last_access
+let cold_misses t = t.cold_measured
+
+let histogram t =
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) t.dist_hist []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let misses_at t ~capacity_blocks =
+  if capacity_blocks <= 0 then invalid_arg "Mattson.misses_at: capacity <= 0";
+  let warm_misses =
+    Hashtbl.fold
+      (fun d c acc -> if d >= capacity_blocks then acc + c else acc)
+      t.dist_hist 0
+  in
+  t.cold_measured + warm_misses
+
+let miss_rate_at t ~capacity_blocks =
+  if t.accesses = 0 then 0.0
+  else float_of_int (misses_at t ~capacity_blocks) /. float_of_int t.accesses
+
+let miss_ratio_curve t ~capacities =
+  Array.map (fun c -> miss_rate_at t ~capacity_blocks:c) capacities

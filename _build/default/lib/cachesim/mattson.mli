@@ -1,0 +1,52 @@
+(** Single-pass LRU stack-distance (reuse-distance) profiling.
+
+    Mattson's stack algorithm: for each access, the reuse distance is
+    the number of {e distinct} blocks touched since the previous access
+    to the same block.  A fully-associative LRU cache of capacity C
+    blocks misses exactly the accesses whose distance ≥ C (plus cold
+    misses), so one profiling pass yields the miss-ratio curve for
+    {e every} capacity at once — how the workload library builds
+    miss-rate tables efficiently.
+
+    Implementation: a Fenwick tree over access timestamps holding one
+    marker per resident block at its last-access time; a distance query
+    is a suffix count, O(log n), with periodic timestamp compaction. *)
+
+type t
+
+val create : ?initial_capacity:int -> block_bytes:int -> unit -> t
+(** [create ~block_bytes ()] profiles byte addresses at [block_bytes]
+    granularity.  Raises [Invalid_argument] unless [block_bytes] is a
+    power of two ≥ 8. *)
+
+val access : t -> int -> unit
+(** Record an access to a byte address. *)
+
+val set_measuring : t -> bool -> unit
+(** While measuring is off (it starts on), accesses still update the
+    LRU stack but are not counted — neither in the histogram nor as
+    cold misses.  Turn it off for a cache-warming prefix so the curve
+    reflects steady state rather than cold-start transients. *)
+
+val accesses : t -> int
+(** Measured accesses so far. *)
+
+val distinct_blocks : t -> int
+(** Number of distinct resident-tracked blocks (all time). *)
+
+val cold_misses : t -> int
+(** First-touch accesses during measurement. *)
+
+val histogram : t -> (int * int) list
+(** [(distance, count)] pairs, ascending distance, counting only
+    finite-distance (warm) accesses. *)
+
+val misses_at : t -> capacity_blocks:int -> int
+(** Misses of a fully-associative LRU cache with the given capacity in
+    blocks: measured cold misses + measured warm accesses with distance
+    ≥ capacity.  Raises [Invalid_argument] if [capacity_blocks <= 0]. *)
+
+val miss_rate_at : t -> capacity_blocks:int -> float
+
+val miss_ratio_curve : t -> capacities:int array -> float array
+(** Vectorised {!miss_rate_at}. *)

@@ -1,0 +1,55 @@
+type t = {
+  hierarchy : Hierarchy.t;
+  degree : int;
+  block : int;
+  mutable issued : int;
+  mutable useful : int;
+  pending : (int, unit) Hashtbl.t; (* prefetched blocks not yet demanded *)
+}
+
+type outcome = {
+  l1_hit : bool;
+  l2_hit : bool;
+  prefetches_issued : int;
+}
+
+let create ?(degree = 1) ~l1 ~l2 () =
+  if degree < 0 then invalid_arg "Prefetch.create: degree < 0";
+  {
+    hierarchy = Hierarchy.create ~l1 ~l2;
+    degree;
+    block = Cache.block_bytes l1;
+    issued = 0;
+    useful = 0;
+    pending = Hashtbl.create 1024;
+  }
+
+let hierarchy t = t.hierarchy
+let prefetches t = t.issued
+let useful_prefetches t = t.useful
+let accuracy t = if t.issued = 0 then 0.0 else float_of_int t.useful /. float_of_int t.issued
+
+let access t addr ~write =
+  let block_no = addr / t.block in
+  (* credit a pending prefetch if this demand hits one *)
+  if Hashtbl.mem t.pending block_no then begin
+    Hashtbl.remove t.pending block_no;
+    let l2 = Hierarchy.l2 t.hierarchy in
+    if Cache.contains l2 addr then t.useful <- t.useful + 1
+  end;
+  let o = Hierarchy.access t.hierarchy addr ~write in
+  let issued = ref 0 in
+  if not o.Hierarchy.l1_hit then begin
+    (* demand L1 miss: stream the next [degree] lines into L2 *)
+    let l2 = Hierarchy.l2 t.hierarchy in
+    for k = 1 to t.degree do
+      let next = (block_no + k) * t.block in
+      if not (Cache.contains l2 next) then begin
+        ignore (Cache.access l2 next ~write:false);
+        t.issued <- t.issued + 1;
+        incr issued;
+        Hashtbl.replace t.pending (block_no + k) ()
+      end
+    done
+  end;
+  { l1_hit = o.Hierarchy.l1_hit; l2_hit = o.Hierarchy.l2_hit; prefetches_issued = !issued }

@@ -1,0 +1,34 @@
+(** Sequential (next-N-line) prefetching on top of a two-level
+    hierarchy.
+
+    On every L1 demand miss, the prefetcher issues the next [degree]
+    blocks into L2 (prefetches never allocate into L1 and are not
+    counted as demand accesses in the L2 statistics kept here).  This is
+    the classic stream prefetcher the paper-era L2s shipped with; the
+    extension experiments use it to test whether the L2-sizing
+    conclusions survive prefetching. *)
+
+type t
+
+type outcome = {
+  l1_hit : bool;
+  l2_hit : bool;
+  prefetches_issued : int;
+}
+
+val create : ?degree:int -> l1:Cache.t -> l2:Cache.t -> unit -> t
+(** Wrap a hierarchy with a prefetcher of the given [degree] (default 1,
+    i.e. next-line).  Raises [Invalid_argument] if [degree < 0] or the
+    caches are incompatible (see {!Hierarchy.create}). *)
+
+val access : t -> int -> write:bool -> outcome
+
+val hierarchy : t -> Hierarchy.t
+val prefetches : t -> int
+(** Total prefetch fills issued. *)
+
+val useful_prefetches : t -> int
+(** Prefetched blocks that were later demanded while still resident. *)
+
+val accuracy : t -> float
+(** useful / issued (0 when none were issued). *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable read_accesses : int;
+  mutable write_accesses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable cold_misses : int;
+}
+
+let create () =
+  {
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    read_accesses = 0;
+    write_accesses = 0;
+    evictions = 0;
+    writebacks = 0;
+    cold_misses = 0;
+  }
+
+let reset t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.read_accesses <- 0;
+  t.write_accesses <- 0;
+  t.evictions <- 0;
+  t.writebacks <- 0;
+  t.cold_misses <- 0
+
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+let hit_rate t = if t.accesses = 0 then 0.0 else float_of_int t.hits /. float_of_int t.accesses
+
+let record t ~hit ~write =
+  t.accesses <- t.accesses + 1;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  if write then t.write_accesses <- t.write_accesses + 1
+  else t.read_accesses <- t.read_accesses + 1
+
+let pp fmt t =
+  Format.fprintf fmt "acc=%d hit=%d miss=%d (%.3f%%) wb=%d cold=%d" t.accesses t.hits
+    t.misses (100.0 *. miss_rate t) t.writebacks t.cold_misses

@@ -1,0 +1,25 @@
+(** Access counters for one cache level. *)
+
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable read_accesses : int;
+  mutable write_accesses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable cold_misses : int;  (** misses to never-before-seen blocks *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val miss_rate : t -> float
+(** misses / accesses; 0 when there were no accesses. *)
+
+val hit_rate : t -> float
+
+val record : t -> hit:bool -> write:bool -> unit
+(** Bump the access/hit-or-miss/read-or-write counters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type entry = {
+  addr : int;
+  write : bool;
+}
+
+type t = entry array
+
+let of_entries a = Array.copy a
+
+let record ~next ~n =
+  if n < 0 then invalid_arg "Trace.record: n < 0";
+  Array.init n (fun _ -> next ())
+
+let length = Array.length
+let get t i = t.(i)
+let iter t f = Array.iter f t
+
+let replay t cache = iter t (fun e -> ignore (Cache.access cache e.addr ~write:e.write))
+
+let replay_hierarchy t h =
+  iter t (fun e -> ignore (Hierarchy.access h e.addr ~write:e.write))
+
+type stats = {
+  accesses : int;
+  writes : int;
+  distinct_blocks : int;
+  footprint_bytes : int;
+  sequential_fraction : float;
+}
+
+let analyze t =
+  if Array.length t = 0 then invalid_arg "Trace.analyze: empty trace";
+  let blocks = Hashtbl.create 4096 in
+  let writes = ref 0 in
+  let sequential = ref 0 in
+  let prev = ref min_int in
+  Array.iter
+    (fun e ->
+      if e.write then incr writes;
+      Hashtbl.replace blocks (e.addr / 64) ();
+      if !prev <> min_int && e.addr >= !prev && e.addr <= !prev + 64 then incr sequential;
+      prev := e.addr)
+    t;
+  let n = Array.length t in
+  {
+    accesses = n;
+    writes = !writes;
+    distinct_blocks = Hashtbl.length blocks;
+    footprint_bytes = 64 * Hashtbl.length blocks;
+    sequential_fraction = float_of_int !sequential /. float_of_int n;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d accesses (%.1f%% writes), footprint %d blocks (%.1f KB), %.1f%% sequential"
+    s.accesses
+    (100.0 *. float_of_int s.writes /. float_of_int (max 1 s.accesses))
+    s.distinct_blocks
+    (float_of_int s.footprint_bytes /. 1024.0)
+    (100.0 *. s.sequential_fraction)

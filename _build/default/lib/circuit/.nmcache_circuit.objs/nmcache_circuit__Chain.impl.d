@@ -1,0 +1,1 @@
+lib/circuit/chain.ml: Float Gate Nmcache_device

@@ -1,0 +1,1 @@
+lib/circuit/chain.mli: Gate Nmcache_device

@@ -1,0 +1,1 @@
+lib/circuit/horowitz.ml: Float

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Horowitz Nmcache_device Rc Sram_cell

@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Nmcache_device Rc Sram_cell

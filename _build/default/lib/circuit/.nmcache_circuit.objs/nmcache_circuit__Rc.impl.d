@@ -1,0 +1,1 @@
+lib/circuit/rc.ml: Float List

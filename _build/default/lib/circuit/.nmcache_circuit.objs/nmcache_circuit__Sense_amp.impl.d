@@ -1,0 +1,1 @@
+lib/circuit/sense_amp.ml: Float Gate Nmcache_device

@@ -1,0 +1,1 @@
+lib/circuit/sense_amp.mli: Nmcache_device

@@ -1,0 +1,1 @@
+lib/circuit/sram_cell.ml: Nmcache_device

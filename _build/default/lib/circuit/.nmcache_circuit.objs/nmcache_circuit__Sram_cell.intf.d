@@ -1,0 +1,1 @@
+lib/circuit/sram_cell.mli: Nmcache_device

@@ -1,0 +1,1 @@
+lib/circuit/transient.ml: Array List Nmcache_numerics

@@ -1,0 +1,1 @@
+lib/circuit/wire.ml: Float Gate Nmcache_device

@@ -1,0 +1,12 @@
+let delay ~tf ~t_rise_in ~v_threshold ~rising =
+  if v_threshold <= 0.0 || v_threshold >= 1.0 then
+    invalid_arg "Horowitz.delay: v_threshold outside (0,1)";
+  if tf < 0.0 || t_rise_in < 0.0 then invalid_arg "Horowitz.delay: negative time";
+  if tf = 0.0 then 0.0
+  else begin
+    let b = if rising then 0.5 else 0.4 in
+    let lnv = Float.log v_threshold in
+    tf *. Float.sqrt ((lnv *. lnv) +. (2.0 *. t_rise_in *. b *. (1.0 -. v_threshold) /. tf))
+  end
+
+let output_transition ~tf = 2.0 *. tf

@@ -1,0 +1,22 @@
+(** Horowitz's analytic gate-delay approximation for non-step inputs.
+
+    Elmore delay assumes a step input; real cache timing paths see
+    finite-slope edges (notably the wordline rising into the cell and
+    the sense clock).  Horowitz's formula corrects the switching time of
+    a stage for the input transition time. *)
+
+val delay :
+  tf:float -> t_rise_in:float -> v_threshold:float -> rising:bool -> float
+(** [delay ~tf ~t_rise_in ~v_threshold ~rising] is the stage delay [s]:
+
+    t = tf · √( (ln v_s)² + 2·t_rise_in·b·(1 − v_s)/tf )
+
+    where [tf] is the stage RC time constant, [t_rise_in] the input
+    transition time, [v_s] the normalised switching threshold
+    [v_threshold] ∈ (0, 1), and b = 0.5 (rising) / 0.4 (falling), after
+    CACTI.  Raises [Invalid_argument] unless 0 < v_s < 1 and the times
+    are non-negative. *)
+
+val output_transition : tf:float -> float
+(** Output transition time estimate for chaining stages: ≈ tf / (1 − v_s)
+    evaluated at v_s = 0.5, i.e. 2·tf. *)

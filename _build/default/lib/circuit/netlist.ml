@@ -1,0 +1,47 @@
+module Tech = Nmcache_device.Tech
+
+let wordline_tree (tech : Tech.t) ~cell ~cols ~segment_cells =
+  if cols < 1 then invalid_arg "Netlist.wordline_tree: cols < 1";
+  if segment_cells < 1 then invalid_arg "Netlist.wordline_tree: segment_cells < 1";
+  let cell_w = cell.Sram_cell.width in
+  let gate_load = Sram_cell.gate_load tech cell in
+  let n_segments = (cols + segment_cells - 1) / segment_cells in
+  (* build from the far end toward the driver *)
+  let rec build i rest =
+    if i < 0 then rest
+    else begin
+      let cells_here = min segment_cells (cols - (i * segment_cells)) in
+      let len = float_of_int cells_here *. cell_w in
+      let r = tech.Tech.wire_r_per_m *. len in
+      let c = (tech.Tech.wire_c_per_m *. len) +. (float_of_int cells_here *. gate_load) in
+      let node = Rc.node ~r ~c rest in
+      build (i - 1) [ node ]
+    end
+  in
+  match build (n_segments - 1) [] with
+  | [ tree ] -> Rc.node ~r:0.0 ~c:0.0 [ tree ]
+  | _ -> Rc.node ~r:0.0 ~c:0.0 []
+
+let wordline_delay tech ~cell ~cols ~r_driver ~t_rise_in =
+  let tree = wordline_tree tech ~cell ~cols ~segment_cells:32 in
+  let wire_delay = Rc.elmore_worst tree in
+  let driver_delay = r_driver *. Rc.total_capacitance tree in
+  let tf = wire_delay +. driver_delay in
+  Horowitz.delay ~tf ~t_rise_in ~v_threshold:0.5 ~rising:true
+
+let bitline_discharge (tech : Tech.t) ~cell ~rows ~sense_swing =
+  if rows < 1 then invalid_arg "Netlist.bitline_discharge: rows < 1";
+  if sense_swing <= 0.0 || sense_swing >= 1.0 then
+    invalid_arg "Netlist.bitline_discharge: swing outside (0,1)";
+  let cell_h = cell.Sram_cell.height in
+  let drain = Sram_cell.drain_load tech cell in
+  let seg_c = (tech.Tech.wire_c_per_m *. cell_h) +. drain in
+  let seg_r = tech.Tech.wire_r_per_m *. cell_h in
+  let c_total = float_of_int rows *. seg_c in
+  let i_read = Sram_cell.read_current tech cell in
+  (* current-source discharge of the total capacitance ... *)
+  let slew = c_total *. (sense_swing *. tech.Tech.vdd) /. i_read in
+  (* ... plus the RC settling of the far-end cell through the
+     distributed bitline resistance (Elmore of the uniform line) *)
+  let rc_penalty = 0.38 *. (float_of_int rows *. seg_r) *. c_total in
+  slew +. rc_penalty

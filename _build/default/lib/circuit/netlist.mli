@@ -1,0 +1,43 @@
+(** Explicit RC netlists for the array timing paths.
+
+    The cache model's closed forms lump the wordline and bitline into
+    single RC products; this module builds the distributed trees
+    node-by-node and evaluates them with the Elmore engine plus
+    Horowitz slope correction — a higher-fidelity cross-check used by
+    the fit-audit tests (the lumped forms must stay within a constant
+    factor of the detailed ones across the knob space). *)
+
+val wordline_tree :
+  Nmcache_device.Tech.t ->
+  cell:Sram_cell.t ->
+  cols:int ->
+  segment_cells:int ->
+  Rc.t
+(** Distributed wordline: [cols] cell loads grouped into segments of
+    [segment_cells] (one RC tree node per segment; finer segmentation →
+    better accuracy, more nodes).  The tree's root resistance is zero —
+    drive it through {!wordline_delay}'s [r_driver].  Raises
+    [Invalid_argument] if [cols < 1] or [segment_cells < 1]. *)
+
+val wordline_delay :
+  Nmcache_device.Tech.t ->
+  cell:Sram_cell.t ->
+  cols:int ->
+  r_driver:float ->
+  t_rise_in:float ->
+  float
+(** Detailed wordline delay [s]: Elmore delay of the segmented tree
+    (32 cells per segment) through the driver resistance, corrected for
+    the input edge with {!Horowitz.delay} at the half-rail threshold. *)
+
+val bitline_discharge :
+  Nmcache_device.Tech.t ->
+  cell:Sram_cell.t ->
+  rows:int ->
+  sense_swing:float ->
+  float
+(** Detailed bitline evaluation time [s]: the cell's read current
+    discharging the distributed bitline capacitance (drain loads + wire,
+    summed node-by-node), to a [sense_swing] fraction of Vdd, plus the
+    Elmore penalty of the bitline resistance between the active cell
+    (worst case: the far end) and the sense amplifier. *)

@@ -1,0 +1,51 @@
+type t = {
+  r : float;
+  c : float;
+  children : t list;
+}
+
+let node ~r ~c children =
+  if r < 0.0 || c < 0.0 then invalid_arg "Rc.node: negative r or c";
+  { r; c; children }
+
+let leaf ~r ~c = node ~r ~c []
+
+let rec total_capacitance t =
+  List.fold_left (fun acc ch -> acc +. total_capacitance ch) t.c t.children
+
+(* Elmore delay to [target]: sum over branches on the path of
+   r_branch * (capacitance downstream of that branch). *)
+let elmore_to root target =
+  let rec path_delay node =
+    if node == target then Some (node.r *. total_capacitance node)
+    else
+      List.fold_left
+        (fun acc ch ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match path_delay ch with
+            | Some d -> Some (d +. (node.r *. total_capacitance node))
+            | None -> None))
+        None node.children
+  in
+  path_delay root
+
+let elmore_worst root =
+  let rec collect acc node =
+    let acc = node :: acc in
+    List.fold_left collect acc node.children
+  in
+  let nodes = collect [] root in
+  List.fold_left
+    (fun acc n ->
+      match elmore_to root n with Some d -> Float.max acc d | None -> acc)
+    0.0 nodes
+
+let ladder ~stages ~r_stage ~c_stage ~c_load =
+  if stages < 1 then invalid_arg "Rc.ladder: stages < 1";
+  if r_stage < 0.0 || c_stage < 0.0 || c_load < 0.0 then
+    invalid_arg "Rc.ladder: negative value";
+  let n = float_of_int stages in
+  (* sum_{k=1..n} R*(C_load + (n-k+1/2) C) = n R C_load + R C n^2/2 *)
+  (n *. r_stage *. c_load) +. (r_stage *. c_stage *. n *. n /. 2.0)

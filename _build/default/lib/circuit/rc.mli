@@ -1,0 +1,37 @@
+(** RC trees and Elmore delay.
+
+    The circuit evaluator reduces every timing path to resistances
+    charging capacitances; the Elmore metric (first moment of the impulse
+    response) is the classic closed form for delay through an RC tree.
+    A tree node carries the resistance of the branch connecting it to its
+    parent and the capacitance lumped at the node. *)
+
+type t
+(** An RC tree rooted at the driving point. *)
+
+val node : r:float -> c:float -> t list -> t
+(** [node ~r ~c children] is a tree node reached through resistance [r]
+    [Ω] with grounded capacitance [c] [F] at the node.  Raises
+    [Invalid_argument] on negative [r] or [c]. *)
+
+val leaf : r:float -> c:float -> t
+(** [leaf ~r ~c] is [node ~r ~c []]. *)
+
+val total_capacitance : t -> float
+(** Sum of all node capacitances [F]. *)
+
+val elmore_to : t -> t -> float option
+(** [elmore_to root target] is the Elmore delay [s] from the tree's
+    driving point to the physical node [target] (compared by identity),
+    or [None] if [target] is not in the tree:
+    Σ over nodes k on the root→target path of R_k · C_subtree(k). *)
+
+val elmore_worst : t -> float
+(** Largest Elmore delay over all nodes of the tree [s]. *)
+
+val ladder : stages:int -> r_stage:float -> c_stage:float -> c_load:float -> float
+(** Closed-form Elmore delay of a uniform RC ladder of [stages] segments
+    with a lumped load at the end — the distributed-wire workhorse:
+    Σ_{k=1..n} R·(C_load + (n − k + 1/2)·C).  Computed directly rather
+    than by building a tree.  Raises [Invalid_argument] if [stages < 1]
+    or any value is negative. *)

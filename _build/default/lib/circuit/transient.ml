@@ -1,0 +1,110 @@
+module Matrix = Nmcache_numerics.Matrix
+module Linsolve = Nmcache_numerics.Linsolve
+
+type t = {
+  nodes : int;
+  mutable conductances : (int * int option * float) list; (* a, b, siemens *)
+  mutable capacitances : (int * float) list;
+  mutable sources : (int * (float -> float)) list;        (* current into node *)
+}
+
+let create ~nodes =
+  if nodes < 1 then invalid_arg "Transient.create: nodes < 1";
+  { nodes; conductances = []; capacitances = []; sources = [] }
+
+let check_node t name a =
+  if a < 0 || a >= t.nodes then invalid_arg ("Transient: bad node for " ^ name)
+
+let add_resistor t ~a ~b ~ohms =
+  if ohms <= 0.0 then invalid_arg "Transient.add_resistor: ohms <= 0";
+  check_node t "resistor" a;
+  (match b with Some b -> check_node t "resistor" b | None -> ());
+  t.conductances <- (a, b, 1.0 /. ohms) :: t.conductances
+
+let add_capacitor t ~a ~farads =
+  if farads <= 0.0 then invalid_arg "Transient.add_capacitor: farads <= 0";
+  check_node t "capacitor" a;
+  t.capacitances <- (a, farads) :: t.capacitances
+
+let add_current_source t ~a ~amps =
+  check_node t "current source" a;
+  t.sources <- (a, amps) :: t.sources
+
+let add_voltage_drive t ~a ~volts ~r_source =
+  if r_source <= 0.0 then invalid_arg "Transient.add_voltage_drive: r_source <= 0";
+  check_node t "voltage drive" a;
+  let g = 1.0 /. r_source in
+  t.conductances <- (a, None, g) :: t.conductances;
+  t.sources <- (a, fun time -> g *. volts time) :: t.sources
+
+type waveform = {
+  dt : float;
+  samples : float array array;
+}
+
+let build_matrices t =
+  let g = Matrix.create ~rows:t.nodes ~cols:t.nodes in
+  List.iter
+    (fun (a, b, s) ->
+      Matrix.set g a a (Matrix.get g a a +. s);
+      match b with
+      | None -> ()
+      | Some b ->
+        Matrix.set g b b (Matrix.get g b b +. s);
+        Matrix.set g a b (Matrix.get g a b -. s);
+        Matrix.set g b a (Matrix.get g b a -. s))
+    t.conductances;
+  let c = Matrix.create ~rows:t.nodes ~cols:t.nodes in
+  List.iter (fun (a, f) -> Matrix.set c a a (Matrix.get c a a +. f)) t.capacitances;
+  (g, c)
+
+let current_vector t time =
+  let i = Array.make t.nodes 0.0 in
+  List.iter (fun (a, f) -> i.(a) <- i.(a) +. f time) t.sources;
+  i
+
+let simulate t ~v0 ~dt ~steps =
+  if Array.length v0 <> t.nodes then invalid_arg "Transient.simulate: v0 size mismatch";
+  if dt <= 0.0 then invalid_arg "Transient.simulate: dt <= 0";
+  if steps < 1 then invalid_arg "Transient.simulate: steps < 1";
+  let g, c = build_matrices t in
+  (* trapezoidal: (C/dt + G/2) v' = (C/dt - G/2) v + (i + i')/2 *)
+  let lhs = Matrix.add (Matrix.scale (1.0 /. dt) c) (Matrix.scale 0.5 g) in
+  let rhs_m = Matrix.add (Matrix.scale (1.0 /. dt) c) (Matrix.scale (-0.5) g) in
+  let lhs_inv = Linsolve.invert lhs in
+  let samples = Array.make (steps + 1) [||] in
+  samples.(0) <- Array.copy v0;
+  let v = ref (Array.copy v0) in
+  for step = 1 to steps do
+    let t_prev = float_of_int (step - 1) *. dt in
+    let t_next = float_of_int step *. dt in
+    let i_prev = current_vector t t_prev in
+    let i_next = current_vector t t_next in
+    let rhs = Matrix.mul_vec rhs_m !v in
+    Array.iteri (fun k r -> rhs.(k) <- r +. (0.5 *. (i_prev.(k) +. i_next.(k)))) rhs;
+    let v' = Matrix.mul_vec lhs_inv rhs in
+    samples.(step) <- v';
+    v := v'
+  done;
+  { dt; samples }
+
+let node_voltage w ~node ~step = w.samples.(step).(node)
+
+let crossing_time w ~node ~threshold ~rising =
+  let n = Array.length w.samples in
+  let crossed prev cur =
+    if rising then prev < threshold && cur >= threshold
+    else prev > threshold && cur <= threshold
+  in
+  let rec scan step =
+    if step >= n then None
+    else begin
+      let prev = w.samples.(step - 1).(node) and cur = w.samples.(step).(node) in
+      if crossed prev cur then begin
+        let frac = if cur = prev then 0.0 else (threshold -. prev) /. (cur -. prev) in
+        Some ((float_of_int (step - 1) +. frac) *. w.dt)
+      end
+      else scan (step + 1)
+    end
+  in
+  scan 1

@@ -1,0 +1,1 @@
+lib/core/context.ml: Hashtbl Nmcache_device Nmcache_energy Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics Nmcache_workload Option Printf

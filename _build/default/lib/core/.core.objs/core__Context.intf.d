@@ -1,0 +1,1 @@
+lib/core/context.mli: Nmcache_device Nmcache_energy Nmcache_fit Nmcache_geometry Nmcache_opt

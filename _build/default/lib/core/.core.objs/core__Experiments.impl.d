@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Ablations Context Extensions List Report Single_cache Summary Tuple_study Two_level

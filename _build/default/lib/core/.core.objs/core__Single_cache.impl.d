@@ -1,0 +1,1 @@
+lib/core/single_cache.ml: Array Context Float List Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics Printf Report

@@ -1,0 +1,1 @@
+lib/core/single_cache.mli: Context Nmcache_geometry Nmcache_opt Report

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Float List Nmcache_opt Nmcache_physics Option Printf Report Single_cache Tuple_study Two_level

@@ -1,0 +1,1 @@
+lib/core/tuple_study.ml: Array Context Float List Nmcache_energy Nmcache_opt Nmcache_physics Nmcache_workload Option Printf Report

@@ -1,0 +1,1 @@
+lib/core/tuple_study.mli: Context Nmcache_energy Nmcache_opt Report

@@ -1,0 +1,1 @@
+lib/core/two_level.ml: Array Context Format List Nmcache_energy Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics Nmcache_workload Option Printf Report

@@ -1,0 +1,27 @@
+(** Extension studies beyond the paper (DESIGN.md X-series): each bounds
+    or stresses one of the paper's conclusions inside the same
+    framework. *)
+
+val knob_ablation : Context.t -> Report.artefact list
+(** X1 — optimise the 16 KB cache with Vth only (Tox pinned at the
+    reference), Tox only (Vth pinned), or both knobs; quantifies "Vth
+    is the better design knob". *)
+
+val temperature_sensitivity : Context.t -> Report.artefact list
+(** X2 — re-characterise and re-optimise at 300 K / 330 K / 358 K /
+    383 K; subthreshold leakage is exponential in T, gate tunnelling is
+    not, so the optimal assignments shift with temperature. *)
+
+val policy_ablation : Context.t -> Report.artefact list
+(** X3 — miss rates under LRU / FIFO / Random / PLRU; bounds how much
+    the Section-5 conclusions depend on the replacement policy the
+    miss-rate tables assume. *)
+
+val per_workload_tuple : Context.t -> Report.artefact list
+(** X4 — the Figure-2 study run per benchmark stand-in instead of on
+    the aggregate. *)
+
+val fit_audit : Context.t -> Report.artefact list
+(** X5 — compact-model quality: per component, fit R² and maximum
+    relative error on a dense off-training grid versus the circuit
+    evaluator. *)

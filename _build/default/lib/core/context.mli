@@ -1,0 +1,47 @@
+(** Shared experiment context: the technology, cache shapes, workloads,
+    grids and memoised characterisations every experiment draws on.
+
+    Experiments take an explicit context so tests can run them on
+    reduced settings (shorter traces, coarser grids) without touching
+    globals. *)
+
+type t = {
+  tech : Nmcache_device.Tech.t;
+  l1_size : int;            (** default L1 capacity (16 KB) *)
+  l1_assoc : int;
+  l2_size : int;            (** default L2 capacity (1 MB) *)
+  l2_assoc : int;
+  block_bytes : int;
+  l2_output_bits : int;
+  workloads : string list;  (** aggregated benchmark stand-ins *)
+  seed : int64;
+  n_sim : int;              (** trace length per simulation *)
+  grid : Nmcache_opt.Grid.t;        (** full design grid *)
+  coarse_grid : Nmcache_opt.Grid.t; (** for the tuple enumeration *)
+  mem : Nmcache_energy.Main_memory.t;
+}
+
+val default : unit -> t
+(** bptm65, 16 KB/4-way L1, 1 MB/8-way L2, 64 B blocks, headline
+    workloads, 2 M-access traces, seed 42. *)
+
+val quick : unit -> t
+(** Reduced setting for tests: 400 k-access traces, coarse grids. *)
+
+val l1_config : t -> ?size:int -> unit -> Nmcache_geometry.Config.t
+val l2_config : t -> ?size:int -> unit -> Nmcache_geometry.Config.t
+
+val fitted : t -> Nmcache_geometry.Config.t -> Nmcache_fit.Fitted_cache.t
+(** Characterise-and-fit, memoised per (tech, config) within the
+    process. *)
+
+val l1_sizes : int array
+(** 4 K … 64 K. *)
+
+val l2_sizes : int array
+(** 256 K … 8 M. *)
+
+val reference_knob : t -> Nmcache_geometry.Component.knob
+(** The default pair (0.30 V, 12 Å) components start from. *)
+
+val clear_memo : unit -> unit

@@ -1,0 +1,21 @@
+(** Experiment registry: every table and figure the reproduction
+    regenerates, addressable by id for the CLI and the bench harness. *)
+
+type t = {
+  id : string;          (** e.g. ["fig1"] *)
+  title : string;
+  paper_ref : string;   (** where in the paper the artefact lives *)
+  run : Context.t -> Report.artefact list;
+}
+
+val all : t list
+(** Paper artefacts first (fig1, schemes, l2sweep, l2sweep2, l1sweep,
+    fig2), then extensions (ablate-knobs, ablate-temp, ablate-policy,
+    fig2-workloads, fitcheck). *)
+
+val paper : t list
+(** Only the six paper artefacts. *)
+
+val find : string -> t option
+
+val ids : string list

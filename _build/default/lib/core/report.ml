@@ -1,0 +1,108 @@
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+}
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+type chart = {
+  chart_title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+type artefact =
+  | Table of table
+  | Chart of chart
+  | Note of string
+
+let table ~title ~columns ~rows =
+  let w = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> w then
+        invalid_arg (Printf.sprintf "Report.table %S: row %d has wrong width" title i))
+    rows;
+  Table { title; columns; rows }
+
+let chart ~title ~x_label ~y_label series =
+  Chart { chart_title = title; x_label; y_label; series }
+
+let note s = Note s
+
+let pp_table fmt (t : table) =
+  let all_rows = t.columns :: t.rows in
+  let n = List.length t.columns in
+  let widths = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all_rows;
+  let pp_row row =
+    Format.fprintf fmt "  ";
+    List.iteri
+      (fun i cell ->
+        Format.fprintf fmt "%-*s" (widths.(i) + 2) cell)
+      row;
+    Format.fprintf fmt "@,"
+  in
+  Format.fprintf fmt "@[<v>== %s ==@," t.title;
+  pp_row t.columns;
+  let rule = String.concat "" (List.init n (fun i -> String.make (widths.(i) + 2) '-')) in
+  Format.fprintf fmt "  %s@," rule;
+  List.iter pp_row t.rows;
+  Format.fprintf fmt "@]"
+
+let pp_chart fmt (c : chart) =
+  Format.fprintf fmt "@[<v>== %s ==@,(x: %s, y: %s)@," c.chart_title c.x_label c.y_label;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "series %S:@," s.label;
+      List.iter (fun (x, y) -> Format.fprintf fmt "  %.4g\t%.4g@," x y) s.points)
+    c.series;
+  Format.fprintf fmt "@]"
+
+let pp_artefact fmt = function
+  | Table t -> pp_table fmt t
+  | Chart c -> pp_chart fmt c
+  | Note s -> Format.fprintf fmt "@[<v>-- %s@]" s
+
+let render artefacts =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter (fun a -> Format.fprintf fmt "%a@.@." pp_artefact a) artefacts;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let print artefacts = print_string (render artefacts)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv = function
+  | Note _ -> None
+  | Table t ->
+    let line row = String.concat "," (List.map csv_cell row) in
+    Some (String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n")
+  | Chart c ->
+    let rows =
+      List.concat_map
+        (fun s ->
+          List.map
+            (fun (x, y) -> Printf.sprintf "%s,%.6g,%.6g" (csv_cell s.label) x y)
+            s.points)
+        c.series
+    in
+    Some (String.concat "\n" (("series," ^ c.x_label ^ "," ^ c.y_label) :: rows) ^ "\n")
+
+let render_csv artefacts =
+  String.concat "\n" (List.filter_map to_csv artefacts)
+
+let fmt_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let fmt_pct v = Printf.sprintf "%.2f%%" (100.0 *. v)

@@ -1,0 +1,29 @@
+(** Section 4 experiments: single-cache leakage optimisation.
+
+    - {!figure1}: the fixed-Vth vs fixed-Tox trade-off curves for a
+      16 KB cache (paper Figure 1);
+    - {!scheme_table}: minimum leakage under Schemes I/II/III across a
+      range of delay constraints, with the optimal assignments (the
+      in-text result T1 of DESIGN.md). *)
+
+val figure1_series :
+  Context.t -> (string * (float * float) list) list
+(** Four series [(label, [(access_ps, leakage_mW)])] in the paper's
+    order: Tox=10 Å, Tox=14 Å (Vth swept), Vth=0.2 V, Vth=0.4 V (Tox
+    swept); scheme III assignment, fitted models. *)
+
+val figure1 : Context.t -> Report.artefact list
+
+type scheme_row = {
+  budget : float;   (** delay constraint [s] *)
+  results : (Nmcache_opt.Scheme.t * Nmcache_opt.Scheme.result option) list;
+}
+
+val scheme_rows : Context.t -> ?budgets:float array -> unit -> scheme_row list
+(** Default budgets: 9 points spanning [fastest·1.02, slowest·0.98]. *)
+
+val scheme_table : Context.t -> Report.artefact list
+
+val array_is_conservative : Nmcache_geometry.Component.assignment -> bool
+(** The paper's §4 observation: the cell array's Vth and Tox are at
+    least as high as every peripheral component's. *)

@@ -1,0 +1,18 @@
+(** The claim checker: every qualitative claim the paper makes,
+    evaluated live against the reproduction and reported as a verdict
+    table.  This is EXPERIMENTS.md's "status" column computed rather
+    than asserted, and it doubles as the top-level integration test. *)
+
+type verdict = {
+  claim : string;        (** the paper's statement *)
+  source : string;       (** where in the paper it lives *)
+  holds : bool;
+  evidence : string;     (** the measured numbers behind the verdict *)
+}
+
+val verdicts : Context.t -> verdict list
+(** Evaluate all claims (runs every underlying experiment; memoised
+    inputs make repeat calls cheap). *)
+
+val run : Context.t -> Report.artefact list
+(** The verdicts as a table artefact. *)

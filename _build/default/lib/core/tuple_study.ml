@@ -1,0 +1,132 @@
+module Units = Nmcache_physics.Units
+module Grid = Nmcache_opt.Grid
+module Tuple_problem = Nmcache_opt.Tuple_problem
+module System = Nmcache_energy.System
+module Main_memory = Nmcache_energy.Main_memory
+module Missrate = Nmcache_workload.Missrate
+
+let system_for ctx ~workloads =
+  let curve =
+    Missrate.averaged_l2_curve ~seed:ctx.Context.seed ~workloads
+      ~l1_size:ctx.Context.l1_size ~l2_sizes:Context.l2_sizes ~n:ctx.Context.n_sim ()
+  in
+  let m2 =
+    let rec find i =
+      if curve.Missrate.l2_sizes.(i) = ctx.Context.l2_size then
+        curve.Missrate.l2_local_rates.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  System.make
+    ~l1:(Context.fitted ctx (Context.l1_config ctx ()))
+    ~l2:(Context.fitted ctx (Context.l2_config ctx ()))
+    ~mem:ctx.Context.mem ~m1:curve.Missrate.l1_miss_rate ~m2
+
+let system ctx = system_for ctx ~workloads:ctx.Context.workloads
+
+(* Flat per-group tables over the grid's knobs for the hot eval path. *)
+let build_eval sys ~grid =
+  let knobs = Grid.knobs grid in
+  let n = Array.length knobs in
+  let group_arrays group =
+    let d = Array.make n 0.0 and l = Array.make n 0.0 and e = Array.make n 0.0 in
+    Array.iteri
+      (fun i k ->
+        let ge = System.eval_group sys group k in
+        d.(i) <- ge.System.delay;
+        l.(i) <- ge.System.leak_w;
+        e.(i) <- ge.System.dyn_energy)
+      knobs;
+    (d, l, e)
+  in
+  let d0, l0, e0 = group_arrays System.L1_cell in
+  let d1, l1, e1 = group_arrays System.L1_periph in
+  let d2, l2, e2 = group_arrays System.L2_cell in
+  let d3, l3, e3 = group_arrays System.L2_periph in
+  let m1 = System.m1 sys and m2 = System.m2 sys in
+  let mem = System.mem sys in
+  let t_mem = mem.Main_memory.t_access in
+  let e_mem = mem.Main_memory.e_access in
+  let standby = mem.Main_memory.standby_w in
+  fun (idx : int array) ->
+    let i0 = idx.(0) and i1 = idx.(1) and i2 = idx.(2) and i3 = idx.(3) in
+    let t_l1 = d0.(i0) +. d1.(i1) in
+    let t_l2 = d2.(i2) +. d3.(i3) in
+    let amat = t_l1 +. (m1 *. (t_l2 +. (m2 *. t_mem))) in
+    let dyn = e0.(i0) +. e1.(i1) +. (m1 *. (e2.(i2) +. e3.(i3) +. (m2 *. e_mem))) in
+    let leak = l0.(i0) +. l1.(i1) +. l2.(i2) +. l3.(i3) +. standby in
+    (amat, dyn +. (leak *. amat))
+
+let figure2_curves ?workloads ctx =
+  let workloads = Option.value workloads ~default:ctx.Context.workloads in
+  let sys = system_for ctx ~workloads in
+  let grid = ctx.Context.coarse_grid in
+  let eval = build_eval sys ~grid in
+  Tuple_problem.curves ~grid ~n_groups:4 ~eval ~specs:Tuple_problem.figure2_specs
+
+let energy_at points ~amat =
+  List.fold_left
+    (fun acc (p : Tuple_problem.point) ->
+      if p.Tuple_problem.amat <= amat then
+        match acc with
+        | Some best when best <= p.Tuple_problem.energy -> acc
+        | _ -> Some p.Tuple_problem.energy
+      else acc)
+    None points
+
+let figure2 ctx =
+  let curves = figure2_curves ctx in
+  let series =
+    List.map
+      (fun (spec, points) ->
+        {
+          Report.label = Tuple_problem.spec_name spec;
+          points =
+            List.map
+              (fun (p : Tuple_problem.point) ->
+                (Units.to_ps p.Tuple_problem.amat, Units.to_pj p.Tuple_problem.energy))
+              points;
+        })
+      curves
+  in
+  let chart =
+    Report.chart ~title:"Figure 2: (Tox, Vth) tuple problem — energy vs AMAT"
+      ~x_label:"AMAT (ps)" ~y_label:"total energy per access (pJ)" series
+  in
+  (* cross-sections at fixed AMAT targets *)
+  let amats =
+    let all = List.concat_map (fun (_, pts) -> List.map (fun (p : Tuple_problem.point) -> p.Tuple_problem.amat) pts) curves in
+    match all with
+    | [] -> [||]
+    | _ ->
+      let lo = List.fold_left Float.min Float.infinity all in
+      let hi = List.fold_left Float.max Float.neg_infinity all in
+      Array.init 5 (fun i -> lo +. ((hi -. lo) *. (0.15 +. (0.175 *. float_of_int i))))
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun amat ->
+           Printf.sprintf "%.0f" (Units.to_ps amat)
+           :: List.map
+                (fun (_, points) ->
+                  match energy_at points ~amat with
+                  | None -> "-"
+                  | Some e -> Printf.sprintf "%.1f" (Units.to_pj e))
+                curves)
+         amats)
+  in
+  let table =
+    Report.table ~title:"Energy (pJ) at fixed AMAT targets"
+      ~columns:
+        ("AMAT (ps)" :: List.map (fun (s, _) -> Tuple_problem.spec_name s) curves)
+      ~rows
+  in
+  [
+    chart;
+    table;
+    Report.note
+      "Paper (sec.5): best is 2 Tox + 3 Vth; 2 Tox + 2 Vth within noise; a single Tox \
+       with dual Vth beats dual Tox with single Vth (Vth is the stronger knob).";
+  ]

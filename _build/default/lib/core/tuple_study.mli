@@ -1,0 +1,26 @@
+(** The Figure 2 experiment: how many distinct Tox and Vth values does a
+    process need for near-optimal total energy of the L1 + L2 + memory
+    system?
+
+    For each (n_tox, n_vth) budget the study enumerates every choice of
+    values from the design grid and every assignment of the four knob
+    groups (L1/L2 × cell/periphery) to the chosen pairs, and reports the
+    Pareto frontier of (AMAT, total energy per access). *)
+
+val system : Context.t -> Nmcache_energy.System.t
+(** The default L1 = 16 KB / L2 = 1 MB system with simulated miss
+    rates (memoised via {!Context.fitted} and the workload layer). *)
+
+val figure2_curves :
+  ?workloads:string list ->
+  Context.t ->
+  (Nmcache_opt.Tuple_problem.spec * Nmcache_opt.Tuple_problem.point list) list
+(** One Pareto curve per Figure-2 budget, on the context's coarse grid.
+    [workloads] overrides the miss-rate aggregation set (used by the
+    per-workload ablation). *)
+
+val energy_at : Nmcache_opt.Tuple_problem.point list -> amat:float -> float option
+(** Best energy achievable at AMAT ≤ [amat] on a frontier (step
+    interpolation); [None] when the frontier has no feasible point. *)
+
+val figure2 : Context.t -> Report.artefact list

@@ -1,0 +1,60 @@
+(** Section 5 experiments: two-level cache leakage optimisation.
+
+    All three studies hold an AMAT target fixed (taken from the default
+    L1 = 16 KB / L2 = 1 MB system at the reference knob) and ask which
+    organisation + knob assignment minimises leakage while meeting it:
+
+    - {!l2_single_pair} (T2): one (Vth, Tox) pair for the whole L2 —
+      the paper finds bigger L2s leak less, up to a turnover;
+    - {!l2_two_pair} (T3): separate cell/peripheral pairs — the paper
+      finds aggressive peripherals beat growing the array, so smaller
+      L2s win;
+    - {!l1_sweep} (T4): L1 sizing under a fixed L2 — small L1s win
+      because L1 local miss rates are low and flat. *)
+
+type l2_row = {
+  l2_size : int;
+  m2 : float;                     (** local L2 miss rate at this size *)
+  t_l2_budget : float option;     (** L2 hit-time budget implied by the AMAT target *)
+  result : Nmcache_opt.Scheme.result option;  (** optimal L2 assignment *)
+  l2_leak : float option;         (** [W] *)
+  total_leak : float option;      (** L2 + (reference) L1 leakage [W] *)
+}
+
+type l2_sweep = {
+  target_amat : float;
+  m1 : float;
+  t_l1 : float;
+  l1_leak : float;
+  rows : l2_row list;
+}
+
+val l2_sweep :
+  Context.t -> scheme:Nmcache_opt.Scheme.t -> ?amat_slack:float -> unit -> l2_sweep
+(** [amat_slack] scales the baseline AMAT target (default 1.08 — the
+    constraint sits 5% above the reference system's AMAT, keeping small
+    organisations in play as in the paper's iso-AMAT comparisons). *)
+
+val l2_single_pair : Context.t -> Report.artefact list
+val l2_two_pair : Context.t -> Report.artefact list
+
+val best_l2_size : l2_sweep -> int option
+(** Size with the smallest total leakage among feasible rows. *)
+
+type l1_row = {
+  l1_size : int;
+  m1 : float;
+  t_l1_budget : float option;
+  l1_result : Nmcache_opt.Scheme.result option;
+  l1_leak : float option;
+  l1_total_leak : float option;   (** L1 + (reference) L2 leakage [W] *)
+}
+
+type l1_sweep = {
+  l1_target_amat : float;
+  l1_rows : l1_row list;
+}
+
+val l1_sweep_rows : Context.t -> ?amat_slack:float -> unit -> l1_sweep
+val l1_sweep : Context.t -> Report.artefact list
+val best_l1_size : l1_sweep -> int option

@@ -1,0 +1,1 @@
+lib/device/corner.ml: Nmcache_physics String

@@ -1,0 +1,1 @@
+lib/device/drive.ml: Mosfet Tech

@@ -1,0 +1,1 @@
+lib/device/drive.mli: Mosfet Tech

@@ -1,0 +1,1 @@
+lib/device/leakage.ml: Float Mosfet Nmcache_physics Tech

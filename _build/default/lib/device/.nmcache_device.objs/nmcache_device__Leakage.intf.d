@@ -1,0 +1,1 @@
+lib/device/leakage.mli: Mosfet Tech

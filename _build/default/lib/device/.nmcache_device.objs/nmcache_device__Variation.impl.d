@@ -1,0 +1,1 @@
+lib/device/variation.ml: Array Float Nmcache_numerics Nmcache_physics Tech

@@ -1,0 +1,1 @@
+lib/device/variation.mli: Nmcache_numerics Tech

@@ -1,0 +1,22 @@
+module Units = Nmcache_physics.Units
+
+type t = Typical | Fast | Slow
+
+let all = [ Typical; Fast; Slow ]
+let name = function Typical -> "TT" | Fast -> "FF" | Slow -> "SS"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "tt" | "typical" -> Some Typical
+  | "ff" | "fast" -> Some Fast
+  | "ss" | "slow" -> Some Slow
+  | _ -> None
+
+let vth_shift = function Typical -> 0.0 | Fast -> -0.040 | Slow -> 0.040
+
+let tox_shift = function
+  | Typical -> 0.0
+  | Fast -> Units.angstrom (-0.3)
+  | Slow -> Units.angstrom 0.3
+
+let apply c ~vth ~tox = (vth +. vth_shift c, tox +. tox_shift c)

@@ -1,0 +1,28 @@
+(** Process corners.
+
+    The paper's study runs at the typical corner; corners are provided so
+    the sensitivity extensions (EXPERIMENTS.md X-series) can bound the
+    conclusions against process variation. *)
+
+type t =
+  | Typical        (** TT *)
+  | Fast           (** FF: −40 mV Vth, −0.3 Å Tox *)
+  | Slow           (** SS: +40 mV Vth, +0.3 Å Tox *)
+
+val all : t list
+
+val name : t -> string
+
+val of_name : string -> t option
+(** Case-insensitive parse of ["tt"], ["ff"], ["ss"] (and full names). *)
+
+val vth_shift : t -> float
+(** Additive Vth shift [V]. *)
+
+val tox_shift : t -> float
+(** Additive Tox shift [m]. *)
+
+val apply : t -> vth:float -> tox:float -> float * float
+(** [apply c ~vth ~tox] is the shifted (vth, tox) pair.  The caller is
+    responsible for re-validating range if required (corners may step
+    slightly outside the design grid by construction). *)

@@ -1,0 +1,49 @@
+(** Within-die threshold-voltage variation.
+
+    Random dopant fluctuation makes each transistor's Vth a random
+    variable around the design value; because subthreshold leakage is
+    exponential in Vth, variation {e inflates the mean} leakage of a
+    large array (Jensen's inequality) even when the Vth distribution is
+    symmetric.  This module quantifies that inflation — analytically
+    under the Gaussian-Vth / log-normal-leakage model, and by Monte
+    Carlo as a cross-check — so the optimiser's nominal numbers can be
+    corrected for a realistic process.
+
+    The Pelgrom model sets the per-device sigma:
+    σ(Vth) = A_vt / √(W·L). *)
+
+val pelgrom_avt : float
+(** Pelgrom matching coefficient for the 65 nm node [V·m]:
+    2.5 mV·µm. *)
+
+val sigma_vth : Tech.t -> w:float -> tox:float -> float
+(** Per-device Vth standard deviation [V] for a transistor of width [w]
+    at oxide [tox] (the channel length follows the scaling rule).
+    Raises [Invalid_argument] if [w <= 0]. *)
+
+val mean_inflation : sigma:float -> n_swing:float -> temp_k:float -> float
+(** Analytic mean-leakage inflation factor of an exponential-in-Vth
+    current under Gaussian Vth noise:
+    E[exp(−ΔVth/(n·vT))] = exp(σ²/(2·(n·vT)²)).
+    Always ≥ 1. *)
+
+val mc_inflation :
+  rng:Nmcache_numerics.Rng.t ->
+  sigma:float ->
+  n_swing:float ->
+  temp_k:float ->
+  samples:int ->
+  float
+(** Monte-Carlo estimate of the same factor ([samples] ≥ 1 draws of
+    Gaussian ΔVth).  Converges to {!mean_inflation}; exposed so tests
+    and the variation experiment can validate the closed form. *)
+
+val gaussian : Nmcache_numerics.Rng.t -> float
+(** Standard normal sample (Box–Muller); exposed for reuse. *)
+
+val sigma_percentile_leakage :
+  sigma:float -> n_swing:float -> temp_k:float -> percentile:float -> float
+(** Multiplicative leakage factor at a population percentile (e.g. 99.9
+    for a yield corner): exp(z_p·σ/(n·vT)) with z_p the standard-normal
+    quantile.  Raises [Invalid_argument] for percentiles outside
+    (0, 100). *)

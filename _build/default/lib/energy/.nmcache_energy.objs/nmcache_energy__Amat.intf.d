@@ -1,0 +1,1 @@
+lib/energy/amat.mli:

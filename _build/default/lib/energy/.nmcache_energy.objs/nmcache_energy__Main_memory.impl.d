@@ -1,0 +1,1 @@
+lib/energy/main_memory.ml: Format Nmcache_physics

@@ -1,0 +1,1 @@
+lib/energy/main_memory.mli: Format

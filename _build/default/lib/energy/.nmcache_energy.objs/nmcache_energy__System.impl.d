@@ -1,0 +1,1 @@
+lib/energy/system.ml: Amat List Main_memory Nmcache_fit Nmcache_geometry

@@ -1,0 +1,1 @@
+lib/energy/system.mli: Main_memory Nmcache_fit Nmcache_geometry

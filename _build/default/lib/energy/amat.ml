@@ -1,0 +1,27 @@
+let check_rate name m =
+  if m < 0.0 || m > 1.0 then invalid_arg ("Amat: miss rate out of [0,1]: " ^ name)
+
+let check_time name t = if t < 0.0 then invalid_arg ("Amat: negative time: " ^ name)
+
+let two_level ~t_l1 ~t_l2 ~t_mem ~m1 ~m2 =
+  check_time "t_l1" t_l1;
+  check_time "t_l2" t_l2;
+  check_time "t_mem" t_mem;
+  check_rate "m1" m1;
+  check_rate "m2" m2;
+  t_l1 +. (m1 *. (t_l2 +. (m2 *. t_mem)))
+
+let single_level ~t_l1 ~t_mem ~m1 =
+  check_time "t_l1" t_l1;
+  check_time "t_mem" t_mem;
+  check_rate "m1" m1;
+  t_l1 +. (m1 *. t_mem)
+
+let required_t_l2 ~amat ~t_l1 ~t_mem ~m1 ~m2 =
+  check_rate "m1" m1;
+  check_rate "m2" m2;
+  if m1 = 0.0 then if t_l1 <= amat then Some Float.infinity else None
+  else begin
+    let t_l2 = (amat -. t_l1 -. (m1 *. m2 *. t_mem)) /. m1 in
+    if t_l2 >= 0.0 then Some t_l2 else None
+  end

@@ -1,0 +1,20 @@
+(** Average memory access time.
+
+    AMAT = T_L1 + m₁ · (T_L2 + m₂ · T_mem), with m₁ the local L1 miss
+    rate and m₂ the local L2 miss rate — the delay metric constraining
+    every two-level optimisation in the paper (Section 5). *)
+
+val two_level :
+  t_l1:float -> t_l2:float -> t_mem:float -> m1:float -> m2:float -> float
+(** Raises [Invalid_argument] when a time is negative or a miss rate is
+    outside [0, 1]. *)
+
+val single_level : t_l1:float -> t_mem:float -> m1:float -> float
+(** AMAT of an L1-only system (used by baseline comparisons). *)
+
+val required_t_l2 :
+  amat:float -> t_l1:float -> t_mem:float -> m1:float -> m2:float -> float option
+(** Solve for the L2 hit time that meets an AMAT target, if any
+    ([None] when even a zero-delay L2 misses it, i.e. the memory terms
+    already exceed the target).  Used to translate an AMAT budget into a
+    per-cache delay budget. *)

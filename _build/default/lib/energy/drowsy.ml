@@ -1,0 +1,58 @@
+type policy = {
+  drowsy_factor : float;
+  t_wake : float;
+}
+
+let make_policy ~drowsy_factor ~t_wake =
+  if drowsy_factor <= 0.0 || drowsy_factor > 1.0 then
+    invalid_arg "Drowsy.make_policy: factor outside (0,1]";
+  if t_wake < 0.0 then invalid_arg "Drowsy.make_policy: negative wake latency";
+  { drowsy_factor; t_wake }
+
+let default_policy = make_policy ~drowsy_factor:0.15 ~t_wake:300e-12
+
+type effect = {
+  awake_fraction : float;
+  drowsy_hit_rate : float;
+  leak_w : float;
+  access_time : float;
+  leak_saving : float;
+}
+
+let apply policy ~array_leak_w ~periph_leak_w ~access_time ~awake_fraction
+    ~drowsy_hit_rate =
+  let check name v =
+    if v < 0.0 || v > 1.0 then invalid_arg ("Drowsy.apply: bad fraction " ^ name)
+  in
+  check "awake_fraction" awake_fraction;
+  check "drowsy_hit_rate" drowsy_hit_rate;
+  let array' =
+    array_leak_w *. (awake_fraction +. ((1.0 -. awake_fraction) *. policy.drowsy_factor))
+  in
+  let leak_w = array' +. periph_leak_w in
+  let nominal = array_leak_w +. periph_leak_w in
+  {
+    awake_fraction;
+    drowsy_hit_rate;
+    leak_w;
+    access_time = access_time +. (drowsy_hit_rate *. policy.t_wake);
+    leak_saving = (if nominal > 0.0 then 1.0 -. (leak_w /. nominal) else 0.0);
+  }
+
+let simulate_awake_fraction ~window ~l2_size ~block ~accesses_per_window
+    ~unique_block_fraction =
+  if window <= 0 || l2_size <= 0 || block <= 0 then
+    invalid_arg "Drowsy.simulate_awake_fraction: non-positive parameter";
+  let lines = float_of_int (l2_size / block) in
+  let touched =
+    Float.min lines (unique_block_fraction *. float_of_int accesses_per_window)
+  in
+  let awake = Float.min 1.0 (touched /. lines) in
+  (* an access hits a drowsy line when it references something outside
+     the touched set of the previous window; with temporal locality most
+     re-references are recent, so approximate by the fraction of
+     accesses that are "new" in a window *)
+  let drowsy_hit =
+    Float.min 1.0 (touched /. Float.max 1.0 (float_of_int accesses_per_window))
+  in
+  (awake, drowsy_hit)

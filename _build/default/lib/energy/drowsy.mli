@@ -1,0 +1,59 @@
+(** Drowsy-cache standby mode — the circuit-level alternative the
+    paper's references [2,5,6] pursue, built here as an extension so the
+    process-knob approach (Vth/Tox assignment) can be compared against
+    it inside one framework.
+
+    Model (after Flautner et al.): lines not touched within a window are
+    put into a state-preserving low-voltage standby that cuts their
+    leakage to [drowsy_factor]; touching a drowsy line pays a wake-up
+    latency on that access.  For a steady-state characterisation we
+    parameterise by the {e awake fraction} f and the {e drowsy-hit rate}
+    h (probability an access lands on a drowsy line):
+
+    - leakage' = P_array·(f + (1−f)·drowsy_factor) + P_periph
+    - access'  = access + h·t_wake                                     *)
+
+type policy = {
+  drowsy_factor : float;  (** residual leakage of a drowsy cell (0.15) *)
+  t_wake : float;         (** wake-up latency [s] (1 cycle ≈ 300 ps) *)
+}
+
+val default_policy : policy
+
+val make_policy : drowsy_factor:float -> t_wake:float -> policy
+(** Validated constructor: factor in (0, 1], non-negative latency. *)
+
+type effect = {
+  awake_fraction : float;
+  drowsy_hit_rate : float;
+  leak_w : float;        (** cache leakage under the policy [W] *)
+  access_time : float;   (** mean access time including wake-ups [s] *)
+  leak_saving : float;   (** 1 − leak'/leak at the same knob assignment *)
+}
+
+val apply :
+  policy ->
+  array_leak_w:float ->
+  periph_leak_w:float ->
+  access_time:float ->
+  awake_fraction:float ->
+  drowsy_hit_rate:float ->
+  effect
+(** Steady-state effect of the policy on a cache whose array and
+    peripheral leakage and nominal access time are given.  Raises
+    [Invalid_argument] for fractions outside [0, 1]. *)
+
+val simulate_awake_fraction :
+  window:int ->
+  l2_size:int ->
+  block:int ->
+  accesses_per_window:int ->
+  unique_block_fraction:float ->
+  float * float
+(** Crude analytic estimate of (awake fraction, drowsy-hit rate) for a
+    drowsy window of [window] cycles: lines touched in a window stay
+    awake.  [accesses_per_window] accesses touch
+    [unique_block_fraction · accesses_per_window] distinct lines of the
+    [l2_size/block] total; a drowsy hit happens when an access references
+    a line not touched in the previous window (approximated by the miss
+    of a "cache" of the awake set).  Bounded to [0, 1] on both outputs. *)

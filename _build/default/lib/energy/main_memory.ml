@@ -1,0 +1,22 @@
+module Units = Nmcache_physics.Units
+
+type t = {
+  t_access : float;
+  e_access : float;
+  standby_w : float;
+}
+
+let make ~t_access ~e_access ~standby_w =
+  if t_access <= 0.0 then invalid_arg "Main_memory.make: t_access <= 0";
+  if e_access <= 0.0 then invalid_arg "Main_memory.make: e_access <= 0";
+  if standby_w < 0.0 then invalid_arg "Main_memory.make: standby_w < 0";
+  { t_access; e_access; standby_w }
+
+let ddr2_like =
+  make ~t_access:(Units.ns 40.0) ~e_access:(Units.pj 2000.0) ~standby_w:(Units.mw 5.0)
+
+let pp fmt t =
+  Format.fprintf fmt "mem(t=%s, E=%s, standby=%s)"
+    (Units.to_engineering_string ~unit:"s" t.t_access)
+    (Units.to_engineering_string ~unit:"J" t.e_access)
+    (Units.to_engineering_string ~unit:"W" t.standby_w)

@@ -1,0 +1,21 @@
+(** Main-memory model.
+
+    DRAM sits outside the logic process, so it carries no (Vth, Tox)
+    knobs; it contributes a fixed access latency and per-access energy
+    to AMAT and total energy, plus a small standby power for the on-chip
+    interface. *)
+
+type t = {
+  t_access : float;   (** access latency [s] *)
+  e_access : float;   (** energy per access [J] *)
+  standby_w : float;  (** interface standby power charged to the system [W] *)
+}
+
+val ddr2_like : t
+(** 2005-era DDR2-ish defaults: 40 ns, 2 nJ per access, 5 mW
+    interface standby. *)
+
+val make : t_access:float -> e_access:float -> standby_w:float -> t
+(** Validated constructor (all values must be positive/non-negative). *)
+
+val pp : Format.formatter -> t -> unit

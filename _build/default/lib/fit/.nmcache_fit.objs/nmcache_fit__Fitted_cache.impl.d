@@ -1,0 +1,1 @@
+lib/fit/fitted_cache.ml: Array Fitter List Model Nmcache_device Nmcache_geometry Nmcache_numerics

@@ -1,0 +1,1 @@
+lib/fit/fitted_cache.mli: Model Nmcache_geometry

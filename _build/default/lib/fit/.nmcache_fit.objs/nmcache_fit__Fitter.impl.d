@@ -1,0 +1,1 @@
+lib/fit/fitter.ml: Array Float Model Nmcache_geometry Nmcache_numerics Nmcache_physics

@@ -1,0 +1,1 @@
+lib/fit/fitter.mli: Model Nmcache_geometry

@@ -1,0 +1,1 @@
+lib/fit/model.ml: Float Format Nmcache_physics

@@ -1,0 +1,1 @@
+lib/fit/model.mli: Format

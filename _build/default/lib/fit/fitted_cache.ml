@@ -1,0 +1,79 @@
+module Component = Nmcache_geometry.Component
+module Cache_model = Nmcache_geometry.Cache_model
+module Tech = Nmcache_device.Tech
+module Minimize = Nmcache_numerics.Minimize
+
+type component_model = {
+  kind : Component.kind;
+  leak : Model.leak;
+  leak_quality : Model.quality;
+  delay : Model.delay;
+  delay_quality : Model.quality;
+  energy : Model.energy;
+  energy_quality : Model.quality;
+}
+
+type t = {
+  circuit : Cache_model.t;
+  models : component_model array; (* indexed by Component.kind_index *)
+}
+
+let characterize_and_fit ?(vth_steps = 6) ?(tox_steps = 4) circuit =
+  let tech = Cache_model.tech circuit in
+  let vths = Minimize.linspace ~lo:tech.Tech.vth_min ~hi:tech.Tech.vth_max ~steps:vth_steps in
+  let toxs = Minimize.linspace ~lo:tech.Tech.tox_min ~hi:tech.Tech.tox_max ~steps:tox_steps in
+  let fit_kind kind =
+    let samples = Cache_model.characterize circuit kind ~vths ~toxs in
+    let leak, leak_quality = Fitter.fit_leak samples in
+    let delay, delay_quality = Fitter.fit_delay samples in
+    let energy, energy_quality = Fitter.fit_energy samples in
+    { kind; leak; leak_quality; delay; delay_quality; energy; energy_quality }
+  in
+  let models = Array.of_list (List.map fit_kind Component.all_kinds) in
+  { circuit; models }
+
+let circuit_model t = t.circuit
+let component t kind = t.models.(Component.kind_index kind)
+let components t = Array.to_list t.models
+
+let leak_of t kind (k : Component.knob) =
+  let m = component t kind in
+  Model.eval_leak m.leak ~vth:k.Component.vth ~tox:k.Component.tox
+
+let delay_of t kind (k : Component.knob) =
+  let m = component t kind in
+  Model.eval_delay m.delay ~vth:k.Component.vth ~tox:k.Component.tox
+
+let energy_of t kind (k : Component.knob) =
+  let m = component t kind in
+  Model.eval_energy m.energy ~tox:k.Component.tox
+
+type estimate = {
+  access_time : float;
+  leak_w : float;
+  dyn_energy : float;
+}
+
+let eval t (a : Component.assignment) =
+  List.fold_left
+    (fun acc kind ->
+      let k = Component.get a kind in
+      {
+        access_time = acc.access_time +. delay_of t kind k;
+        leak_w = acc.leak_w +. leak_of t kind k;
+        dyn_energy = acc.dyn_energy +. energy_of t kind k;
+      })
+    { access_time = 0.0; leak_w = 0.0; dyn_energy = 0.0 }
+    Component.all_kinds
+
+let exact t a = Cache_model.evaluate t.circuit a
+
+let worst_quality t =
+  Array.fold_left
+    (fun acc m ->
+      let pick (q : Model.quality) (acc : Model.quality) =
+        if q.Model.r2 < acc.Model.r2 then q else acc
+      in
+      pick m.leak_quality (pick m.delay_quality acc))
+    { Model.r2 = 1.0; max_rel = 0.0; rms_rel = 0.0 }
+    t.models

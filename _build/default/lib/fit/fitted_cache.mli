@@ -1,0 +1,53 @@
+(** A cache whose four components have been characterised and fitted.
+
+    This is the representation the paper's optimisations actually run
+    on: closed-form per-component models, summed under the independence
+    assumption of Section 3.  The underlying circuit model is retained
+    so fit-audit experiments can compare against "HSPICE truth". *)
+
+type component_model = {
+  kind : Nmcache_geometry.Component.kind;
+  leak : Model.leak;
+  leak_quality : Model.quality;
+  delay : Model.delay;
+  delay_quality : Model.quality;
+  energy : Model.energy;
+  energy_quality : Model.quality;
+}
+
+type t
+
+val characterize_and_fit :
+  ?vth_steps:int -> ?tox_steps:int -> Nmcache_geometry.Cache_model.t -> t
+(** Sweep each component over the legal knob ranges ([vth_steps]+1 ×
+    [tox_steps]+1 points, defaults 6 and 4) and fit the compact models.
+    This is the expensive step; everything downstream is closed-form. *)
+
+val circuit_model : t -> Nmcache_geometry.Cache_model.t
+val component : t -> Nmcache_geometry.Component.kind -> component_model
+val components : t -> component_model list
+
+val leak_of : t -> Nmcache_geometry.Component.kind -> Nmcache_geometry.Component.knob -> float
+(** Fitted leakage of one component [W]. *)
+
+val delay_of : t -> Nmcache_geometry.Component.kind -> Nmcache_geometry.Component.knob -> float
+(** Fitted delay contribution of one component [s]. *)
+
+val energy_of : t -> Nmcache_geometry.Component.kind -> Nmcache_geometry.Component.knob -> float
+(** Fitted dynamic energy of one component [J]. *)
+
+type estimate = {
+  access_time : float;  (** Σ fitted delays [s] *)
+  leak_w : float;       (** Σ fitted leakage [W] *)
+  dyn_energy : float;   (** Σ fitted dynamic energy per access [J] *)
+}
+
+val eval : t -> Nmcache_geometry.Component.assignment -> estimate
+(** Closed-form evaluation of a full assignment. *)
+
+val exact : t -> Nmcache_geometry.Component.assignment -> Nmcache_geometry.Cache_model.report
+(** Ground-truth circuit-model evaluation (for audits). *)
+
+val worst_quality : t -> Model.quality
+(** The worst (leak or delay) fit quality over all components — a quick
+    health indicator; experiments assert R² stays high. *)

@@ -1,0 +1,184 @@
+module Units = Nmcache_physics.Units
+module Component = Nmcache_geometry.Component
+module Matrix = Nmcache_numerics.Matrix
+module Linsolve = Nmcache_numerics.Linsolve
+module Lm = Nmcache_numerics.Lm
+module Stats = Nmcache_numerics.Stats
+module Minimize = Nmcache_numerics.Minimize
+
+type samples = (Component.knob * Component.summary) array
+
+let unpack samples field =
+  Array.map
+    (fun ((k : Component.knob), (s : Component.summary)) ->
+      (k.Component.vth, Units.to_angstrom k.Component.tox, field s))
+    samples
+
+(* Relative-error weights: leakage spans decades, and the optimiser
+   cares about being right everywhere on the grid, not just at the
+   leaky corner. *)
+let weights ys = Array.map (fun y -> 1.0 /. Float.max (y *. y) 1e-60) ys
+
+let quality_of ~actual ~predicted =
+  {
+    Model.r2 = Stats.r_squared ~actual ~predicted;
+    max_rel = Stats.max_rel_error ~actual ~predicted;
+    rms_rel = Stats.rms_rel_error ~actual ~predicted;
+  }
+
+(* --- leakage ------------------------------------------------------- *)
+
+(* For fixed exponents the model is linear in (A0, A1, A2). *)
+let leak_linear_fit pts ~alpha_v ~alpha_t =
+  let rows =
+    Array.map (fun (v, x, _) -> [| 1.0; Float.exp (alpha_v *. v); Float.exp (alpha_t *. x) |]) pts
+  in
+  let ys = Array.map (fun (_, _, y) -> y) pts in
+  let a = Matrix.of_rows rows in
+  let coef = Linsolve.lstsq_weighted a ys ~weights:(weights ys) in
+  let predict (v, x, _) =
+    coef.(0) +. (coef.(1) *. Float.exp (alpha_v *. v)) +. (coef.(2) *. Float.exp (alpha_t *. x))
+  in
+  let rel_err =
+    Array.fold_left
+      (fun acc ((_, _, y) as p) ->
+        let e = (predict p -. y) /. Float.max (Float.abs y) 1e-30 in
+        acc +. (e *. e))
+      0.0 pts
+  in
+  (coef, rel_err)
+
+let leak_eval theta (xi : float array) =
+  theta.(0)
+  +. (theta.(1) *. Float.exp (theta.(2) *. xi.(0)))
+  +. (theta.(3) *. Float.exp (theta.(4) *. xi.(1)))
+
+let fit_leak samples =
+  if Array.length samples < 6 then invalid_arg "Fitter.fit_leak: too few samples";
+  let pts = unpack samples (fun s -> s.Component.leak_w) in
+  (* profile the two exponents on a coarse grid *)
+  let best = ref None in
+  let alpha_vs = Minimize.linspace ~lo:(-40.0) ~hi:(-5.0) ~steps:35 in
+  let alpha_ts = Minimize.linspace ~lo:(-2.4) ~hi:(-0.3) ~steps:21 in
+  Array.iter
+    (fun alpha_v ->
+      Array.iter
+        (fun alpha_t ->
+          let coef, err = leak_linear_fit pts ~alpha_v ~alpha_t in
+          match !best with
+          | Some (_, _, _, e) when e <= err -> ()
+          | _ -> best := Some (coef, alpha_v, alpha_t, err))
+        alpha_ts)
+    alpha_vs;
+  let coef, alpha_v, alpha_t, _ =
+    match !best with Some b -> b | None -> assert false
+  in
+  (* LM refinement on all five parameters, relative residuals *)
+  let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
+  let ys_rel = Array.map (fun _ -> 1.0) pts in
+  let f theta xi = leak_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
+  let init = [| coef.(0); coef.(1); alpha_v; coef.(2); alpha_t |] in
+  let result = Lm.fit ~f ~xs ~ys:ys_rel ~init () in
+  let theta = result.Lm.params in
+  let m =
+    {
+      Model.a0 = theta.(0);
+      a1 = theta.(1);
+      alpha_v = theta.(2);
+      a2 = theta.(3);
+      alpha_t = theta.(4);
+    }
+  in
+  let actual = Array.map (fun (_, _, y) -> y) pts in
+  let predicted =
+    Array.map
+      (fun ((k : Component.knob), _) ->
+        Model.eval_leak m ~vth:k.Component.vth ~tox:k.Component.tox)
+      samples
+  in
+  (m, quality_of ~actual ~predicted)
+
+let quality_leak m samples =
+  let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.leak_w) samples in
+  let predicted =
+    Array.map
+      (fun ((k : Component.knob), _) ->
+        Model.eval_leak m ~vth:k.Component.vth ~tox:k.Component.tox)
+      samples
+  in
+  quality_of ~actual ~predicted
+
+(* --- delay --------------------------------------------------------- *)
+
+let delay_linear_fit pts ~kappa_v =
+  let rows = Array.map (fun (v, x, _) -> [| 1.0; Float.exp (kappa_v *. v); x |]) pts in
+  let ys = Array.map (fun (_, _, y) -> y) pts in
+  let a = Matrix.of_rows rows in
+  let coef = Linsolve.lstsq_weighted a ys ~weights:(weights ys) in
+  let predict (v, x, _) = coef.(0) +. (coef.(1) *. Float.exp (kappa_v *. v)) +. (coef.(2) *. x) in
+  let rel_err =
+    Array.fold_left
+      (fun acc ((_, _, y) as p) ->
+        let e = (predict p -. y) /. Float.max (Float.abs y) 1e-30 in
+        acc +. (e *. e))
+      0.0 pts
+  in
+  (coef, rel_err)
+
+let delay_eval theta (xi : float array) =
+  theta.(0) +. (theta.(1) *. Float.exp (theta.(2) *. xi.(0))) +. (theta.(3) *. xi.(1))
+
+let fit_delay samples =
+  if Array.length samples < 5 then invalid_arg "Fitter.fit_delay: too few samples";
+  let pts = unpack samples (fun s -> s.Component.delay) in
+  let best = ref None in
+  let kappas = Minimize.linspace ~lo:0.2 ~hi:10.0 ~steps:49 in
+  Array.iter
+    (fun kappa_v ->
+      let coef, err = delay_linear_fit pts ~kappa_v in
+      match !best with
+      | Some (_, _, e) when e <= err -> ()
+      | _ -> best := Some (coef, kappa_v, err))
+    kappas;
+  let coef, kappa_v, _ = match !best with Some b -> b | None -> assert false in
+  let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
+  let ys_rel = Array.map (fun _ -> 1.0) pts in
+  let f theta xi = delay_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
+  let init = [| coef.(0); coef.(1); kappa_v; coef.(2) |] in
+  let result = Lm.fit ~f ~xs ~ys:ys_rel ~init () in
+  let theta = result.Lm.params in
+  let m = { Model.k0 = theta.(0); k1 = theta.(1); kappa_v = theta.(2); k2 = theta.(3) } in
+  let actual = Array.map (fun (_, _, y) -> y) pts in
+  let predicted =
+    Array.map
+      (fun ((k : Component.knob), _) ->
+        Model.eval_delay m ~vth:k.Component.vth ~tox:k.Component.tox)
+      samples
+  in
+  (m, quality_of ~actual ~predicted)
+
+let quality_delay m samples =
+  let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.delay) samples in
+  let predicted =
+    Array.map
+      (fun ((k : Component.knob), _) ->
+        Model.eval_delay m ~vth:k.Component.vth ~tox:k.Component.tox)
+      samples
+  in
+  quality_of ~actual ~predicted
+
+(* --- dynamic energy ------------------------------------------------ *)
+
+let fit_energy samples =
+  if Array.length samples < 2 then invalid_arg "Fitter.fit_energy: too few samples";
+  let pts = unpack samples (fun s -> s.Component.dyn_energy) in
+  let rows = Array.map (fun (_, x, _) -> [| 1.0; x |]) pts in
+  let ys = Array.map (fun (_, _, y) -> y) pts in
+  let coef = Linsolve.lstsq (Matrix.of_rows rows) ys in
+  let m = { Model.e0 = coef.(0); e1 = coef.(1) } in
+  let predicted =
+    Array.map
+      (fun ((k : Component.knob), _) -> Model.eval_energy m ~tox:k.Component.tox)
+      samples
+  in
+  (m, quality_of ~actual:ys ~predicted)

@@ -1,0 +1,27 @@
+(** Fitting the compact models to characterisation samples.
+
+    Both model forms are {e separable}: for fixed exponents the
+    remaining coefficients are linear, so the fitter profiles the
+    exponents over a coarse grid with linear least squares inside, then
+    refines all parameters with Levenberg–Marquardt.  This mirrors how
+    one extracts the paper's equations from HSPICE data. *)
+
+type samples = (Nmcache_geometry.Component.knob * Nmcache_geometry.Component.summary) array
+(** The output of {!Nmcache_geometry.Cache_model.characterize}. *)
+
+val fit_leak : samples -> Model.leak * Model.quality
+(** Fit P = A0 + A1·exp(a1·Vth) + A2·exp(a2·ToxÅ) to the samples'
+    [leak_w] field.  Raises [Invalid_argument] on fewer than 6
+    samples. *)
+
+val fit_delay : samples -> Model.delay * Model.quality
+(** Fit T = k0 + k1·exp(k3·Vth) + k2·ToxÅ to the samples' [delay]
+    field.  Raises [Invalid_argument] on fewer than 5 samples. *)
+
+val fit_energy : samples -> Model.energy * Model.quality
+(** Linear fit of dynamic energy against ToxÅ. *)
+
+val quality_leak : Model.leak -> samples -> Model.quality
+val quality_delay : Model.delay -> samples -> Model.quality
+(** Re-evaluate fit quality of a model against (possibly different)
+    samples — used by the fit-audit experiment. *)

@@ -1,0 +1,51 @@
+module Units = Nmcache_physics.Units
+
+type leak = {
+  a0 : float;
+  a1 : float;
+  alpha_v : float;
+  a2 : float;
+  alpha_t : float;
+}
+
+type delay = {
+  k0 : float;
+  k1 : float;
+  kappa_v : float;
+  k2 : float;
+}
+
+type energy = {
+  e0 : float;
+  e1 : float;
+}
+
+let eval_leak m ~vth ~tox =
+  let tox_a = Units.to_angstrom tox in
+  m.a0 +. (m.a1 *. Float.exp (m.alpha_v *. vth)) +. (m.a2 *. Float.exp (m.alpha_t *. tox_a))
+
+let eval_delay m ~vth ~tox =
+  let tox_a = Units.to_angstrom tox in
+  m.k0 +. (m.k1 *. Float.exp (m.kappa_v *. vth)) +. (m.k2 *. tox_a)
+
+let eval_energy m ~tox = m.e0 +. (m.e1 *. Units.to_angstrom tox)
+
+let pp_leak fmt m =
+  Format.fprintf fmt "P = %.3e + %.3e*exp(%.2f*Vth) + %.3e*exp(%.2f*ToxA) W" m.a0 m.a1
+    m.alpha_v m.a2 m.alpha_t
+
+let pp_delay fmt m =
+  Format.fprintf fmt "T = %.3e + %.3e*exp(%.2f*Vth) + %.3e*ToxA s" m.k0 m.k1 m.kappa_v
+    m.k2
+
+let pp_energy fmt m = Format.fprintf fmt "E = %.3e + %.3e*ToxA J" m.e0 m.e1
+
+type quality = {
+  r2 : float;
+  max_rel : float;
+  rms_rel : float;
+}
+
+let pp_quality fmt q =
+  Format.fprintf fmt "R2=%.4f max_rel=%.2f%% rms_rel=%.2f%%" q.r2 (100.0 *. q.max_rel)
+    (100.0 *. q.rms_rel)

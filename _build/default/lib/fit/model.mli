@@ -1,0 +1,49 @@
+(** The paper's compact per-component models (Section 3).
+
+    Leakage:  P(Vth, Tox) = A0 + A1·exp(a1·Vth) + A2·exp(a2·Tox)
+    Delay:    T(Vth, Tox) = k0 + k1·exp(k3·Vth) + k2·Tox
+
+    Conventions: Vth in volts; Tox is carried in {e angstroms} inside
+    the model coefficients (the paper's own axis and far better
+    conditioned), but every public [eval] takes Tox in metres like the
+    rest of the code base and converts internally.  Leakage in watts,
+    delay in seconds. *)
+
+type leak = {
+  a0 : float;
+  a1 : float;
+  alpha_v : float;  (** exponent on Vth [1/V]; negative *)
+  a2 : float;
+  alpha_t : float;  (** exponent on Tox [1/Å]; negative *)
+}
+
+type delay = {
+  k0 : float;
+  k1 : float;
+  kappa_v : float;  (** exponent on Vth [1/V]; positive *)
+  k2 : float;       (** linear Tox slope [s/Å]; positive *)
+}
+
+type energy = {
+  e0 : float;
+  e1 : float;       (** linear Tox slope [J/Å] *)
+}
+(** Dynamic energy per access is only weakly knob-dependent; a linear
+    Tox model suffices (capacitance scales with the cell). *)
+
+val eval_leak : leak -> vth:float -> tox:float -> float
+val eval_delay : delay -> vth:float -> tox:float -> float
+val eval_energy : energy -> tox:float -> float
+
+val pp_leak : Format.formatter -> leak -> unit
+val pp_delay : Format.formatter -> delay -> unit
+val pp_energy : Format.formatter -> energy -> unit
+
+type quality = {
+  r2 : float;
+  max_rel : float;
+  rms_rel : float;
+}
+(** Goodness of fit over the characterisation grid. *)
+
+val pp_quality : Format.formatter -> quality -> unit

@@ -1,0 +1,1 @@
+lib/geometry/cache_model.ml: Array Component Config Float List Nmcache_circuit Nmcache_device Nmcache_physics Org

@@ -1,0 +1,1 @@
+lib/geometry/cache_model.mli: Component Config Nmcache_device Org

@@ -1,0 +1,1 @@
+lib/geometry/component.ml: Format Nmcache_physics String

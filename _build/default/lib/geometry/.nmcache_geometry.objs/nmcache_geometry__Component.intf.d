@@ -1,0 +1,1 @@
+lib/geometry/component.mli: Format

@@ -1,0 +1,1 @@
+lib/geometry/config.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/geometry/org.ml: Config Format List

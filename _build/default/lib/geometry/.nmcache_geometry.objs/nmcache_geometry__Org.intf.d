@@ -1,0 +1,1 @@
+lib/geometry/org.mli: Config Format

@@ -1,0 +1,62 @@
+(** The cache circuit model: configuration + organisation ↦ the paper's
+    four components, each evaluated at an arbitrary (Vth, Tox) knob.
+
+    This is the reproduction's substitute for the paper's re-designed
+    cache netlists + HSPICE: {!evaluate_component} plays the role of a
+    circuit simulation of one component at one knob assignment, and
+    {!characterize} sweeps the knob grid to produce the samples the
+    compact models of {!Nmcache_fit} are fitted to.
+
+    Independence convention (paper §3): each component's delay and
+    leakage are treated as functions of {e its own} knob only.  Where a
+    component's load physically depends on a neighbour (the decoder
+    drives wordlines loaded by array cells; bus lengths depend on array
+    area), the neighbour is frozen at the model's {e reference knob}, so
+    component models stay independent exactly as the paper assumes. *)
+
+type t
+
+val make :
+  ?reference:Component.knob -> ?org:Org.t -> Nmcache_device.Tech.t -> Config.t -> t
+(** [make tech config] builds the model.  [org] defaults to
+    {!best_org}'s choice; [reference] defaults to (0.30 V, 12 Å). *)
+
+val tech : t -> Nmcache_device.Tech.t
+val config : t -> Config.t
+val org : t -> Org.t
+val reference : t -> Component.knob
+
+val floorplan : t -> float * float
+(** (width, height) of the array floorplan in metres, at the reference
+    knob (cell dimensions scale with Tox). *)
+
+val evaluate_component : t -> Component.kind -> Component.knob -> Component.summary
+(** Delay / leakage / dynamic energy / area of one component at one
+    knob.  Raises [Invalid_argument] if the knob is outside the
+    technology's legal range. *)
+
+type report = {
+  components : (Component.kind * Component.summary) list;
+      (** in {!Component.all_kinds} order *)
+  access_time : float;   (** Σ component delays [s] *)
+  leak_w : float;        (** Σ component leakage [W] *)
+  dyn_read_energy : float; (** Σ dynamic energy per read access [J] *)
+  area : float;          (** Σ component area [m²] *)
+}
+
+val evaluate : t -> Component.assignment -> report
+(** Full-cache evaluation under a per-component knob assignment. *)
+
+val characterize :
+  t ->
+  Component.kind ->
+  vths:float array ->
+  toxs:float array ->
+  (Component.knob * Component.summary) array
+(** The "HSPICE sweep": evaluate the component over the cross product of
+    the given knob grids (row-major, vth outer). *)
+
+val best_org : ?reference:Component.knob -> Nmcache_device.Tech.t -> Config.t -> Org.t
+(** Searches {!Org.candidates} for the partitioning minimising
+    access time with a mild area penalty, evaluated at the reference
+    knob. *)

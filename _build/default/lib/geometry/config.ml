@@ -1,0 +1,49 @@
+type t = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  output_bits : int;
+  addr_bits : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  assert (is_power_of_two n);
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let make ?(output_bits = 64) ?(addr_bits = 40) ~size_bytes ~assoc ~block_bytes () =
+  if not (is_power_of_two size_bytes) then
+    invalid_arg "Config.make: size_bytes not a power of two";
+  if not (is_power_of_two assoc) then invalid_arg "Config.make: assoc not a power of two";
+  if not (is_power_of_two block_bytes) then
+    invalid_arg "Config.make: block_bytes not a power of two";
+  if assoc < 1 then invalid_arg "Config.make: assoc < 1";
+  if block_bytes < 8 then invalid_arg "Config.make: block_bytes < 8";
+  if size_bytes < assoc * block_bytes then
+    invalid_arg "Config.make: size smaller than one set";
+  if output_bits mod 8 <> 0 then invalid_arg "Config.make: output_bits not byte-aligned";
+  if output_bits > 8 * block_bytes then invalid_arg "Config.make: output wider than block";
+  if addr_bits < 20 || addr_bits > 64 then invalid_arg "Config.make: addr_bits out of range";
+  { size_bytes; assoc; block_bytes; output_bits; addr_bits }
+
+let sets t = t.size_bytes / (t.assoc * t.block_bytes)
+let index_bits t = log2_exact (sets t)
+let offset_bits t = log2_exact t.block_bytes
+let tag_bits t = t.addr_bits - index_bits t - offset_bits t
+let data_cells t = 8 * t.size_bytes
+
+(* +3 state bits (valid, dirty, replacement) per line *)
+let tag_cells t = (tag_bits t + 3) * t.assoc * sets t
+let total_cells t = data_cells t + tag_cells t
+let row_cells t = ((8 * t.block_bytes) + tag_bits t + 3) * t.assoc
+
+let pp fmt t =
+  let size =
+    if t.size_bytes >= 1 lsl 20 then Printf.sprintf "%dMB" (t.size_bytes lsr 20)
+    else Printf.sprintf "%dKB" (t.size_bytes lsr 10)
+  in
+  Format.fprintf fmt "%s/%dway/%dB" size t.assoc t.block_bytes
+
+let describe t = Format.asprintf "%a" pp t

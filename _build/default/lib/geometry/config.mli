@@ -1,0 +1,61 @@
+(** Cache configuration: the architectural parameters of one cache.
+
+    All size-like parameters must be powers of two; the smart
+    constructor enforces the invariants so downstream geometry code can
+    assume them. *)
+
+type t = private {
+  size_bytes : int;    (** total data capacity *)
+  assoc : int;         (** set associativity (ways) *)
+  block_bytes : int;   (** line size *)
+  output_bits : int;   (** bits delivered per access (read width) *)
+  addr_bits : int;     (** physical address width *)
+}
+
+val make :
+  ?output_bits:int ->
+  ?addr_bits:int ->
+  size_bytes:int ->
+  assoc:int ->
+  block_bytes:int ->
+  unit ->
+  t
+(** [make ~size_bytes ~assoc ~block_bytes ()] validates and builds a
+    configuration.  Defaults: [output_bits] = 64, [addr_bits] = 40.
+
+    Raises [Invalid_argument] when any of: sizes are not powers of two,
+    [assoc < 1], [block_bytes < 8], [size_bytes < assoc · block_bytes],
+    [output_bits] not a multiple of 8 or larger than the block. *)
+
+val sets : t -> int
+(** Number of sets = size / (assoc · block). *)
+
+val index_bits : t -> int
+(** log2 (sets). *)
+
+val offset_bits : t -> int
+(** log2 (block_bytes). *)
+
+val tag_bits : t -> int
+(** addr_bits − index − offset. *)
+
+val data_cells : t -> int
+(** 8 · size_bytes. *)
+
+val tag_cells : t -> int
+(** tag_bits · assoc · sets (+ valid/dirty/LRU state, 3 bits per line). *)
+
+val total_cells : t -> int
+(** Data + tag cells — the replication count for array leakage. *)
+
+val row_cells : t -> int
+(** Cells on one physical wordline when one set occupies one row:
+    8 · block · assoc + tag overhead per set. *)
+
+val is_power_of_two : int -> bool
+(** Exposed for tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["16KB/4way/64B"]. *)
+
+val describe : t -> string

@@ -1,0 +1,60 @@
+type t = {
+  ndwl : int;
+  ndbl : int;
+}
+
+let make ~ndwl ~ndbl =
+  if not (Config.is_power_of_two ndwl) then invalid_arg "Org.make: ndwl not a power of two";
+  if not (Config.is_power_of_two ndbl) then invalid_arg "Org.make: ndbl not a power of two";
+  { ndwl; ndbl }
+
+let rows_sub config t = max 1 (Config.sets config / t.ndbl)
+let cols_sub config t = float_of_int (Config.row_cells config) /. float_of_int t.ndwl
+let n_subarrays t = t.ndwl * t.ndbl
+
+let grid t =
+  let n = n_subarrays t in
+  let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+  let k = log2 0 n in
+  let gx = 1 lsl ((k + 1) / 2) in
+  let gy = 1 lsl (k / 2) in
+  (gx, gy)
+
+let candidates config =
+  let pow2_upto limit =
+    let rec go acc v = if v > limit then List.rev acc else go (v :: acc) (v * 2) in
+    go [] 1
+  in
+  let sets = Config.sets config in
+  let row_cells = Config.row_cells config in
+  let min_rows = min 64 sets in
+  let min_cols = float_of_int (min 128 row_cells) in
+  let all =
+    List.concat_map
+      (fun ndbl ->
+        List.filter_map
+          (fun ndwl ->
+            let t = { ndwl; ndbl } in
+            let rs = rows_sub config t in
+            let cs = cols_sub config t in
+            if
+              rs >= min_rows && rs <= 1024 && cs >= min_cols && cs <= 2048.0
+              && n_subarrays t <= 64
+            then Some t
+            else None)
+          (pow2_upto 256))
+      (pow2_upto (max 1 sets))
+  in
+  match all with
+  | _ :: _ -> all
+  | [] ->
+    (* degenerate caches (very small or very skewed): fall back to the
+       unpartitioned array and simple column cuts *)
+    List.filter_map
+      (fun ndwl ->
+        if float_of_int row_cells /. float_of_int ndwl >= 8.0 then
+          Some { ndwl; ndbl = 1 }
+        else None)
+      (pow2_upto 64)
+
+let pp fmt t = Format.fprintf fmt "Ndwl=%d Ndbl=%d" t.ndwl t.ndbl

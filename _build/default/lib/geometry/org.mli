@@ -1,0 +1,34 @@
+(** Physical organisation of a cache array: subarray partitioning.
+
+    Following the CACTI tradition, the logical array of [sets] rows ×
+    [row_cells] columns is cut into [ndbl] row groups and [ndwl] column
+    groups, producing [ndbl·ndwl] subarrays tiled in a near-square grid.
+    Partitioning trades decoder depth and bitline/wordline length
+    against subarray count (sense amps, repeated routing). *)
+
+type t = private {
+  ndwl : int;  (** wordline (column) divisions; power of two *)
+  ndbl : int;  (** bitline (row) divisions; power of two *)
+}
+
+val make : ndwl:int -> ndbl:int -> t
+(** Validates both divisions are positive powers of two. *)
+
+val rows_sub : Config.t -> t -> int
+(** Rows per subarray = sets / ndbl (at least 1). *)
+
+val cols_sub : Config.t -> t -> float
+(** Columns per subarray = row cells / ndwl. *)
+
+val n_subarrays : t -> int
+
+val grid : t -> int * int
+(** [(grid_x, grid_y)] — near-square power-of-two tiling of the
+    subarrays used for floorplan dimensions. *)
+
+val candidates : Config.t -> t list
+(** All partitionings with 64 ≤ rows/subarray ≤ 1024,
+    128 ≤ columns/subarray ≤ 2048 and at most 64 subarrays (bounds
+    relaxed for caches too small to satisfy them).  Never empty. *)
+
+val pp : Format.formatter -> t -> unit

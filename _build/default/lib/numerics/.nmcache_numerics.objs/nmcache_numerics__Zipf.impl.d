@@ -1,0 +1,1 @@
+lib/numerics/zipf.ml: Array Rng

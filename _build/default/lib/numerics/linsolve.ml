@@ -1,0 +1,103 @@
+exception Singular
+
+(* Gaussian elimination with partial pivoting on an augmented copy. *)
+let solve a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Linsolve.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Linsolve.solve: rhs length mismatch";
+  let m = Matrix.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* pivot selection *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs (Matrix.get m r col) > Float.abs (Matrix.get m !pivot col) then
+        pivot := r
+    done;
+    let p = !pivot in
+    if Float.abs (Matrix.get m p col) < 1e-300 then raise Singular;
+    if p <> col then begin
+      for j = 0 to n - 1 do
+        let t = Matrix.get m col j in
+        Matrix.set m col j (Matrix.get m p j);
+        Matrix.set m p j t
+      done;
+      let t = x.(col) in
+      x.(col) <- x.(p);
+      x.(p) <- t
+    end;
+    let d = Matrix.get m col col in
+    for r = col + 1 to n - 1 do
+      let f = Matrix.get m r col /. d in
+      if f <> 0.0 then begin
+        for j = col to n - 1 do
+          Matrix.set m r j (Matrix.get m r j -. (f *. Matrix.get m col j))
+        done;
+        x.(r) <- x.(r) -. (f *. x.(col))
+      end
+    done
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get m i i
+  done;
+  x
+
+let lstsq_weighted a b ~weights =
+  let nr = Matrix.rows a and nc = Matrix.cols a in
+  if Array.length b <> nr then invalid_arg "Linsolve.lstsq: rhs length mismatch";
+  if Array.length weights <> nr then invalid_arg "Linsolve.lstsq: weights length mismatch";
+  if nr < nc then invalid_arg "Linsolve.lstsq: underdetermined system";
+  Array.iter (fun w -> if w < 0.0 then invalid_arg "Linsolve.lstsq: negative weight") weights;
+  (* Normal equations: (AᵀWA + ridge·I) x = AᵀWb.  The ridge is scaled to
+     the magnitude of the diagonal so it only matters near singularity. *)
+  let ata = Matrix.create ~rows:nc ~cols:nc in
+  let atb = Array.make nc 0.0 in
+  for i = 0 to nr - 1 do
+    let w = weights.(i) in
+    if w > 0.0 then
+      for j = 0 to nc - 1 do
+        let aij = Matrix.get a i j in
+        atb.(j) <- atb.(j) +. (w *. aij *. b.(i));
+        for k = j to nc - 1 do
+          Matrix.set ata j k (Matrix.get ata j k +. (w *. aij *. Matrix.get a i k))
+        done
+      done
+  done;
+  (* symmetrise *)
+  for j = 0 to nc - 1 do
+    for k = 0 to j - 1 do
+      Matrix.set ata j k (Matrix.get ata k j)
+    done
+  done;
+  let max_diag = ref 0.0 in
+  for j = 0 to nc - 1 do
+    max_diag := Float.max !max_diag (Float.abs (Matrix.get ata j j))
+  done;
+  let ridge = 1e-12 *. Float.max !max_diag 1e-30 in
+  solve (Matrix.add_diagonal ata ridge) atb
+
+let lstsq a b = lstsq_weighted a b ~weights:(Array.make (Matrix.rows a) 1.0)
+
+let invert a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Linsolve.invert: matrix not square";
+  let inv = Matrix.create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let col = solve a e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j col.(i)
+    done
+  done;
+  inv
+
+let residual_norm a x b =
+  let ax = Matrix.mul_vec a x in
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. ((v -. b.(i)) ** 2.0)) ax;
+  Float.sqrt !acc

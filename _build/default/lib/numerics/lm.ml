@@ -1,0 +1,83 @@
+type result = {
+  params : float array;
+  residual : float;
+  iterations : int;
+  converged : bool;
+}
+
+let residuals ~f ~xs ~ys theta =
+  Array.init (Array.length xs) (fun i -> f theta xs.(i) -. ys.(i))
+
+let norm2 r =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) r;
+  Float.sqrt !acc
+
+let residual_of ~f ~xs ~ys theta = norm2 (residuals ~f ~xs ~ys theta)
+
+(* Forward-difference Jacobian of the residual vector wrt theta. *)
+let jacobian ~f ~xs theta =
+  let n = Array.length xs and p = Array.length theta in
+  let j = Matrix.create ~rows:n ~cols:p in
+  let base = Array.init n (fun i -> f theta xs.(i)) in
+  for k = 0 to p - 1 do
+    let h = Float.max 1e-8 (1e-6 *. Float.abs theta.(k)) in
+    let theta' = Array.copy theta in
+    theta'.(k) <- theta'.(k) +. h;
+    for i = 0 to n - 1 do
+      Matrix.set j i k ((f theta' xs.(i) -. base.(i)) /. h)
+    done
+  done;
+  j
+
+let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Lm.fit: no samples";
+  if Array.length ys <> n then invalid_arg "Lm.fit: xs/ys length mismatch";
+  let p = Array.length init in
+  if p = 0 then invalid_arg "Lm.fit: empty parameter vector";
+  let theta = ref (Array.copy init) in
+  let lambda = ref lambda0 in
+  let cost = ref (norm2 (residuals ~f ~xs ~ys !theta)) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     while (not !converged) && !iterations < max_iter do
+       incr iterations;
+       let r = residuals ~f ~xs ~ys !theta in
+       let j = jacobian ~f ~xs !theta in
+       let jt = Matrix.transpose j in
+       let jtj = Matrix.mul jt j in
+       let jtr = Matrix.mul_vec jt r in
+       let neg_jtr = Array.map (fun v -> -.v) jtr in
+       (* Try increasing damping until the step reduces the cost. *)
+       let rec attempt tries =
+         if tries > 30 then raise Exit;
+         let step =
+           try Some (Linsolve.solve (Matrix.add_diagonal jtj !lambda) neg_jtr)
+           with Linsolve.Singular -> None
+         in
+         match step with
+         | None ->
+           lambda := !lambda *. 10.0;
+           attempt (tries + 1)
+         | Some dx ->
+           let cand = Array.mapi (fun i v -> v +. dx.(i)) !theta in
+           let c = norm2 (residuals ~f ~xs ~ys cand) in
+           if Float.is_nan c || c >= !cost then begin
+             lambda := !lambda *. 10.0;
+             attempt (tries + 1)
+           end
+           else begin
+             let step_norm = norm2 dx in
+             let improvement = (!cost -. c) /. Float.max !cost 1e-300 in
+             theta := cand;
+             cost := c;
+             lambda := Float.max (!lambda /. 10.0) 1e-12;
+             if improvement < tol || step_norm < tol then converged := true
+           end
+       in
+       attempt 0
+     done
+   with Exit -> converged := true);
+  { params = !theta; residual = !cost; iterations = !iterations; converged = !converged }

@@ -1,0 +1,40 @@
+(** Levenberg–Marquardt nonlinear least squares.
+
+    Minimises Σᵢ (f(xᵢ; θ) − yᵢ)² over parameters θ, with Jacobians
+    approximated by forward differences.  Sized for the compact-model
+    fitting in this project: a handful of parameters, hundreds of
+    samples. *)
+
+type result = {
+  params : float array;     (** fitted parameter vector *)
+  residual : float;         (** final ‖r‖₂ *)
+  iterations : int;         (** LM iterations consumed *)
+  converged : bool;         (** true when the relative step or residual
+                                improvement dropped below tolerance *)
+}
+
+val fit :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?lambda0:float ->
+  f:(float array -> float array -> float) ->
+  xs:float array array ->
+  ys:float array ->
+  init:float array ->
+  unit ->
+  result
+(** [fit ~f ~xs ~ys ~init ()] fits the model [f theta x] to the samples
+    [(xs.(i), ys.(i))] starting from [init].
+
+    @param max_iter iteration cap (default 200).
+    @param tol convergence tolerance on relative residual improvement and
+           step size (default 1e-10).
+    @param lambda0 initial damping (default 1e-3).
+
+    Raises [Invalid_argument] if [xs] and [ys] have different lengths or
+    are empty. *)
+
+val residual_of : f:(float array -> float array -> float) ->
+  xs:float array array -> ys:float array -> float array -> float
+(** [residual_of ~f ~xs ~ys theta] is ‖residual‖₂ for the given
+    parameters — the quantity {!fit} minimises. *)

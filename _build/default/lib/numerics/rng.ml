@@ -1,0 +1,92 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let s = ref seed in
+  let next () =
+    s := Int64.add !s 0x9E3779B97F4A7C15L;
+    splitmix64 !s
+  in
+  let s0 = next () in
+  let s1 = next () in
+  let s2 = next () in
+  let s3 = next () in
+  (* xoshiro must not start in the all-zero state *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** *)
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* rejection sampling on the top bits to avoid modulo bias *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float t =
+  (* use the top 53 bits *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let float_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.float_range: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.min 1.0 (Float.max 0.0 p) in
+  float t < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean <= 0";
+  let u = 1.0 -. float t in
+  -.mean *. Float.log u
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p = 1.0 then 0
+  else begin
+    let u = 1.0 -. float t in
+    int_of_float (Float.floor (Float.log u /. Float.log (1.0 -. p)))
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t ~bound:(Array.length a))

@@ -1,0 +1,82 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean xs =
+  require_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty "variance" xs;
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let stddev xs = Float.sqrt (variance xs)
+
+let minimum xs =
+  require_nonempty "minimum" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  require_nonempty "maximum" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile xs p =
+  require_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let check_pair name actual predicted =
+  require_nonempty name actual;
+  if Array.length actual <> Array.length predicted then
+    invalid_arg ("Stats." ^ name ^ ": length mismatch")
+
+let r_squared ~actual ~predicted =
+  check_pair "r_squared" actual predicted;
+  let m = mean actual in
+  let ss_tot = Array.fold_left (fun acc y -> acc +. ((y -. m) ** 2.0)) 0.0 actual in
+  let ss_res = ref 0.0 in
+  Array.iteri (fun i y -> ss_res := !ss_res +. ((y -. predicted.(i)) ** 2.0)) actual;
+  if ss_tot = 0.0 then if !ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (!ss_res /. ss_tot)
+
+let max_rel_error ~actual ~predicted =
+  check_pair "max_rel_error" actual predicted;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i y ->
+      let denom = Float.max (Float.abs y) 1e-300 in
+      worst := Float.max !worst (Float.abs (predicted.(i) -. y) /. denom))
+    actual;
+  !worst
+
+let rms_rel_error ~actual ~predicted =
+  check_pair "rms_rel_error" actual predicted;
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i y ->
+      let denom = Float.max (Float.abs y) 1e-300 in
+      let e = (predicted.(i) -. y) /. denom in
+      acc := !acc +. (e *. e))
+    actual;
+  Float.sqrt (!acc /. float_of_int (Array.length actual))
+
+let geometric_mean xs =
+  require_nonempty "geometric_mean" xs;
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive element";
+      acc := !acc +. Float.log x)
+    xs;
+  Float.exp (!acc /. float_of_int (Array.length xs))

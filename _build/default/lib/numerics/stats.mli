@@ -1,0 +1,37 @@
+(** Descriptive statistics and goodness-of-fit metrics. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance.  Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val minimum : float array -> float
+(** Smallest element.  Raises [Invalid_argument] on an empty array. *)
+
+val maximum : float array -> float
+(** Largest element.  Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile (0 ≤ p ≤ 100) with linear
+    interpolation between order statistics.  Raises [Invalid_argument]
+    on an empty array or out-of-range [p]. *)
+
+val r_squared : actual:float array -> predicted:float array -> float
+(** Coefficient of determination of [predicted] against [actual].
+    Raises [Invalid_argument] on a length mismatch or empty input.
+    When [actual] is constant the result is 1.0 if the prediction is
+    exact everywhere and 0.0 otherwise. *)
+
+val max_rel_error : actual:float array -> predicted:float array -> float
+(** Largest |predicted − actual| / max(|actual|, tiny) over the samples. *)
+
+val rms_rel_error : actual:float array -> predicted:float array -> float
+(** Root-mean-square relative error. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values.  Raises
+    [Invalid_argument] on empty input or non-positive elements. *)

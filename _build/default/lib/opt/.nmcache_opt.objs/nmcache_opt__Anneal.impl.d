@@ -1,0 +1,1 @@
+lib/opt/anneal.ml: Array Float Grid List Nmcache_fit Nmcache_geometry Nmcache_numerics

@@ -1,0 +1,1 @@
+lib/opt/anneal.mli: Grid Nmcache_fit Nmcache_geometry

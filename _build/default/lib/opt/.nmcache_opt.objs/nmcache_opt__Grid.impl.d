@@ -1,0 +1,1 @@
+lib/opt/grid.ml: Array Float Nmcache_device Nmcache_geometry Nmcache_physics

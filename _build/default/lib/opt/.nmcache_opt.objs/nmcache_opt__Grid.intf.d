@@ -1,0 +1,1 @@
+lib/opt/grid.mli: Nmcache_device Nmcache_geometry

@@ -1,0 +1,1 @@
+lib/opt/pareto.ml: Float List

@@ -1,0 +1,1 @@
+lib/opt/scheme.ml: Array Float Grid List Nmcache_fit Nmcache_geometry Option String

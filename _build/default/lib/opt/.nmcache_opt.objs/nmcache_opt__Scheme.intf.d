@@ -1,0 +1,1 @@
+lib/opt/scheme.mli: Grid Nmcache_fit Nmcache_geometry

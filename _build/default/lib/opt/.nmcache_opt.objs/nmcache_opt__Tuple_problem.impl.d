@@ -1,0 +1,1 @@
+lib/opt/tuple_problem.ml: Array Float Grid List Nmcache_geometry Printf

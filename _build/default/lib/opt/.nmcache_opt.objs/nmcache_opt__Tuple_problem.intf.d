@@ -1,0 +1,1 @@
+lib/opt/tuple_problem.mli: Grid Nmcache_geometry

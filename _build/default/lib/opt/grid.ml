@@ -1,0 +1,41 @@
+module Tech = Nmcache_device.Tech
+module Units = Nmcache_physics.Units
+module Component = Nmcache_geometry.Component
+
+type t = {
+  vths : float array;
+  toxs : float array;
+}
+
+let steps_between ~lo ~hi ~step =
+  if step <= 0.0 then invalid_arg "Grid: non-positive step";
+  let n = int_of_float (Float.round ((hi -. lo) /. step)) in
+  Array.init (n + 1) (fun i -> lo +. (float_of_int i *. step))
+
+let make ?(vth_step = 0.025) ?(tox_step_angstrom = 0.5) (tech : Tech.t) =
+  {
+    vths = steps_between ~lo:tech.vth_min ~hi:tech.vth_max ~step:vth_step;
+    toxs =
+      steps_between ~lo:tech.tox_min ~hi:tech.tox_max
+        ~step:(Units.angstrom tox_step_angstrom);
+  }
+
+let coarse tech = make ~vth_step:0.05 ~tox_step_angstrom:1.0 tech
+let fine tech = make ~vth_step:0.0125 ~tox_step_angstrom:0.25 tech
+
+let knobs t =
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun vth -> Array.map (fun tox -> Component.knob ~vth ~tox) t.toxs)
+          t.vths))
+
+let size t = Array.length t.vths * Array.length t.toxs
+
+let nearest t (k : Component.knob) =
+  let closest arr v =
+    Array.fold_left
+      (fun best x -> if Float.abs (x -. v) < Float.abs (best -. v) then x else best)
+      arr.(0) arr
+  in
+  Component.knob ~vth:(closest t.vths k.Component.vth) ~tox:(closest t.toxs k.Component.tox)

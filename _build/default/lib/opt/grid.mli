@@ -1,0 +1,31 @@
+(** The discrete (Vth, Tox) design grid.
+
+    The paper optimises over discrete knob values "with small step
+    size"; this module materialises that grid from a technology's legal
+    ranges. *)
+
+type t = {
+  vths : float array;  (** ascending [V] *)
+  toxs : float array;  (** ascending [m] *)
+}
+
+val make : ?vth_step:float -> ?tox_step_angstrom:float -> Nmcache_device.Tech.t -> t
+(** Defaults: 25 mV Vth step, 0.5 Å Tox step — 13 × 9 = 117 points for
+    the bptm65 ranges.  Raises [Invalid_argument] on non-positive
+    steps. *)
+
+val coarse : Nmcache_device.Tech.t -> t
+(** 50 mV / 1 Å: 7 × 5 = 35 points; used where an outer loop multiplies
+    the cost (the tuple problem). *)
+
+val fine : Nmcache_device.Tech.t -> t
+(** 12.5 mV / 0.25 Å grid for convergence checks. *)
+
+val knobs : t -> Nmcache_geometry.Component.knob array
+(** Cross product, vth-major. *)
+
+val size : t -> int
+(** [Array.length (knobs t)]. *)
+
+val nearest : t -> Nmcache_geometry.Component.knob -> Nmcache_geometry.Component.knob
+(** Snap an arbitrary knob to the nearest grid point. *)

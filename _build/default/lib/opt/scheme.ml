@@ -1,0 +1,185 @@
+module Component = Nmcache_geometry.Component
+module Fitted_cache = Nmcache_fit.Fitted_cache
+
+type t = Independent | Split | Uniform
+
+let all = [ Independent; Split; Uniform ]
+let name = function Independent -> "I" | Split -> "II" | Uniform -> "III"
+
+let long_name = function
+  | Independent -> "Scheme I (independent pairs)"
+  | Split -> "Scheme II (cell pair + peripheral pair)"
+  | Uniform -> "Scheme III (single pair)"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "i" | "1" | "independent" -> Some Independent
+  | "ii" | "2" | "split" -> Some Split
+  | "iii" | "3" | "uniform" -> Some Uniform
+  | _ -> None
+
+type result = {
+  scheme : t;
+  assignment : Component.assignment;
+  leak_w : float;
+  access_time : float;
+}
+
+(* Per-component tables over the grid's knob list: index -> value. *)
+type tables = {
+  knobs : Component.knob array;
+  leak : float array array;  (* [component][knob] *)
+  delay : float array array;
+}
+
+let build_tables fitted ~grid =
+  let knobs = Grid.knobs grid in
+  let per kind f = Array.map (fun k -> f kind k) knobs in
+  {
+    knobs;
+    leak =
+      Array.of_list
+        (List.map (fun kind -> per kind (Fitted_cache.leak_of fitted)) Component.all_kinds);
+    delay =
+      Array.of_list
+        (List.map (fun kind -> per kind (Fitted_cache.delay_of fitted)) Component.all_kinds);
+  }
+
+let n_components = List.length Component.all_kinds
+
+let assignment_of_indices tables idx =
+  List.fold_left
+    (fun acc kind ->
+      Component.set acc kind tables.knobs.(idx.(Component.kind_index kind)))
+    (Component.uniform tables.knobs.(0))
+    Component.all_kinds
+
+let totals tables idx =
+  let leak = ref 0.0 and delay = ref 0.0 in
+  for c = 0 to n_components - 1 do
+    leak := !leak +. tables.leak.(c).(idx.(c));
+    delay := !delay +. tables.delay.(c).(idx.(c))
+  done;
+  (!leak, !delay)
+
+let result_of scheme tables idx =
+  let leak_w, access_time = totals tables idx in
+  { scheme; assignment = assignment_of_indices tables idx; leak_w; access_time }
+
+(* Scheme III: one knob index for all components. *)
+let minimize_uniform tables ~delay_budget =
+  let n = Array.length tables.knobs in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let idx = Array.make n_components i in
+    let leak, delay = totals tables idx in
+    if delay <= delay_budget then
+      match !best with
+      | Some (_, l) when l <= leak -> ()
+      | _ -> best := Some (idx, leak)
+  done;
+  Option.map (fun (idx, _) -> result_of Uniform tables idx) !best
+
+(* Scheme II: index i for the array, j for the three peripherals. *)
+let minimize_split tables ~delay_budget =
+  let n = Array.length tables.knobs in
+  let array_c = Component.kind_index Component.Array_sense in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let idx = Array.make n_components j in
+      idx.(array_c) <- i;
+      let leak, delay = totals tables idx in
+      if delay <= delay_budget then
+        match !best with
+        | Some (_, l) when l <= leak -> ()
+        | _ -> best := Some (idx, leak)
+    done
+  done;
+  Option.map (fun (idx, _) -> result_of Split tables idx) !best
+
+(* Scheme I: exact DP over discretised delay.  Component delays are
+   rounded UP to a bin, so any DP-feasible solution is truly feasible;
+   4000 bins keeps the rounding loss below ~0.1% of the budget.
+   table.(c).(b) = minimal leakage of components 0..c using at most b
+   delay bins; choice.(c).(b) = the knob index component c uses there. *)
+let dp_bins = 20000
+
+let minimize_independent tables ~delay_budget =
+  let n = Array.length tables.knobs in
+  let unit = delay_budget /. float_of_int dp_bins in
+  let bin_of d = int_of_float (Float.ceil (d /. unit)) in
+  let infinite = Float.max_float in
+  let table = Array.init n_components (fun _ -> Array.make (dp_bins + 1) infinite) in
+  let choice = Array.init n_components (fun _ -> Array.make (dp_bins + 1) (-1)) in
+  for c = 0 to n_components - 1 do
+    for i = 0 to n - 1 do
+      let db = bin_of tables.delay.(c).(i) in
+      let leak = tables.leak.(c).(i) in
+      if db <= dp_bins then
+        for b = db to dp_bins do
+          let prev = if c = 0 then 0.0 else table.(c - 1).(b - db) in
+          if prev < infinite then begin
+            let cand = prev +. leak in
+            if cand < table.(c).(b) then begin
+              table.(c).(b) <- cand;
+              choice.(c).(b) <- i
+            end
+          end
+        done
+    done;
+    (* prefix-min: a budget of b bins can always use fewer *)
+    for b = 1 to dp_bins do
+      if table.(c).(b - 1) < table.(c).(b) then begin
+        table.(c).(b) <- table.(c).(b - 1);
+        choice.(c).(b) <- choice.(c).(b - 1)
+      end
+    done
+  done;
+  if table.(n_components - 1).(dp_bins) >= infinite then None
+  else begin
+    let idx = Array.make n_components 0 in
+    let b = ref dp_bins in
+    for c = n_components - 1 downto 0 do
+      let i = choice.(c).(!b) in
+      assert (i >= 0);
+      idx.(c) <- i;
+      b := !b - bin_of tables.delay.(c).(i)
+    done;
+    Some (result_of Independent tables idx)
+  end
+
+let minimize_leakage fitted ~grid ~scheme ~delay_budget =
+  if delay_budget <= 0.0 then invalid_arg "Scheme.minimize_leakage: non-positive budget";
+  let tables = build_tables fitted ~grid in
+  match scheme with
+  | Uniform -> minimize_uniform tables ~delay_budget
+  | Split -> minimize_split tables ~delay_budget
+  | Independent -> (
+    (* Scheme II's space is a subset of Scheme I's, so its exhaustive
+       optimum is a sound fallback against the DP's delay-rounding
+       pessimism at very tight budgets. *)
+    let relabel r = { r with scheme = Independent } in
+    let dp = minimize_independent tables ~delay_budget in
+    let split = Option.map relabel (minimize_split tables ~delay_budget) in
+    match (dp, split) with
+    | None, None -> None
+    | (Some _ as r), None -> r
+    | None, (Some _ as r) -> r
+    | Some a, Some b -> Some (if b.leak_w < a.leak_w then b else a))
+
+let extreme_access_time fitted ~grid ~pick =
+  let tables = build_tables fitted ~grid in
+  let n = Array.length tables.knobs in
+  let total = ref 0.0 in
+  for c = 0 to n_components - 1 do
+    let best = ref tables.delay.(c).(0) in
+    for i = 1 to n - 1 do
+      best := pick !best tables.delay.(c).(i)
+    done;
+    total := !total +. !best
+  done;
+  !total
+
+let fastest_access_time fitted ~grid = extreme_access_time fitted ~grid ~pick:Float.min
+let slowest_access_time fitted ~grid = extreme_access_time fitted ~grid ~pick:Float.max

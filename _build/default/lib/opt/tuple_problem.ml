@@ -1,0 +1,154 @@
+module Component = Nmcache_geometry.Component
+
+type spec = {
+  n_vth : int;
+  n_tox : int;
+}
+
+let spec_name s = Printf.sprintf "%d Tox + %d Vth" s.n_tox s.n_vth
+
+type point = {
+  amat : float;
+  energy : float;
+  vth_set : float array;
+  tox_set : float array;
+  group_knobs : Component.knob array;
+}
+
+let figure2_specs =
+  [
+    { n_vth = 2; n_tox = 2 };
+    { n_vth = 3; n_tox = 2 };
+    { n_vth = 2; n_tox = 3 };
+    { n_vth = 1; n_tox = 2 };
+    { n_vth = 2; n_tox = 1 };
+  ]
+
+(* Call [f] on every k-subset of 0..n-1; the index buffer is reused. *)
+let combinations n k f =
+  let buf = Array.make k 0 in
+  let rec go pos start =
+    if pos = k then f buf
+    else
+      for v = start to n - (k - pos) do
+        buf.(pos) <- v;
+        go (pos + 1) (v + 1)
+      done
+  in
+  if k >= 1 && k <= n then go 0 0
+
+(* Binned frontier accumulator: dynamic amat range discovered from the
+   uniform sweep (delay extremes are at uniform extreme assignments),
+   best energy per bin, payload captured on improvement. *)
+type cell = {
+  c_amat : float;
+  c_energy : float;
+  c_assignment : int array;  (* flat grid indices per group *)
+  c_vset : int array;
+  c_xset : int array;
+}
+
+let n_bins = 1024
+
+let pareto_curve ~grid ~n_groups ~eval ~spec =
+  if n_groups < 1 || n_groups > 8 then invalid_arg "Tuple_problem: n_groups out of [1,8]";
+  let n_v = Array.length grid.Grid.vths and n_t = Array.length grid.Grid.toxs in
+  if spec.n_vth < 1 || spec.n_vth > n_v then invalid_arg "Tuple_problem: n_vth out of range";
+  if spec.n_tox < 1 || spec.n_tox > n_t then invalid_arg "Tuple_problem: n_tox out of range";
+  (* amat range estimate from the uniform sweep *)
+  let amat_min = ref Float.infinity and amat_max = ref Float.neg_infinity in
+  let buf = Array.make n_groups 0 in
+  for i = 0 to (n_v * n_t) - 1 do
+    Array.fill buf 0 n_groups i;
+    let amat, _ = eval buf in
+    if amat < !amat_min then amat_min := amat;
+    if amat > !amat_max then amat_max := amat
+  done;
+  let lo = !amat_min *. 0.999 and hi = !amat_max *. 1.001 in
+  let scale = float_of_int n_bins /. (hi -. lo) in
+  let bins = Array.make n_bins None in
+  let record amat energy assignment vset xset =
+    let b = int_of_float ((amat -. lo) *. scale) in
+    let b = max 0 (min (n_bins - 1) b) in
+    let better =
+      match bins.(b) with None -> true | Some c -> energy < c.c_energy
+    in
+    if better then
+      bins.(b) <-
+        Some
+          {
+            c_amat = amat;
+            c_energy = energy;
+            c_assignment = Array.copy assignment;
+            c_vset = Array.copy vset;
+            c_xset = Array.copy xset;
+          }
+  in
+  (* enumerate value subsets, then group assignments over the subset *)
+  let n_pairs = spec.n_vth * spec.n_tox in
+  let allowed = Array.make n_pairs 0 in
+  let assignment = Array.make n_groups 0 in
+  let choice = Array.make n_groups 0 in
+  combinations n_v spec.n_vth (fun vset ->
+      combinations n_t spec.n_tox (fun xset ->
+          (* flat grid index = vth_index * n_t + tox_index *)
+          let p = ref 0 in
+          Array.iter
+            (fun v ->
+              Array.iter
+                (fun x ->
+                  allowed.(!p) <- (v * n_t) + x;
+                  incr p)
+                xset)
+            vset;
+          (* odometer over n_pairs^n_groups *)
+          Array.fill choice 0 n_groups 0;
+          let continue_ = ref true in
+          while !continue_ do
+            for g = 0 to n_groups - 1 do
+              assignment.(g) <- allowed.(choice.(g))
+            done;
+            let amat, energy = eval assignment in
+            record amat energy assignment vset xset;
+            (* increment odometer *)
+            let rec bump g =
+              if g >= n_groups then continue_ := false
+              else begin
+                choice.(g) <- choice.(g) + 1;
+                if choice.(g) >= n_pairs then begin
+                  choice.(g) <- 0;
+                  bump (g + 1)
+                end
+              end
+            in
+            bump 0
+          done))
+    [@warning "-26"];
+  (* sweep bins ascending, keep strictly improving energy *)
+  let knob_of_flat i =
+    Component.knob ~vth:grid.Grid.vths.(i / n_t) ~tox:grid.Grid.toxs.(i mod n_t)
+  in
+  let points = ref [] in
+  let best = ref Float.infinity in
+  Array.iter
+    (fun cell ->
+      match cell with
+      | None -> ()
+      | Some c ->
+        if c.c_energy < !best then begin
+          best := c.c_energy;
+          points :=
+            {
+              amat = c.c_amat;
+              energy = c.c_energy;
+              vth_set = Array.map (fun v -> grid.Grid.vths.(v)) c.c_vset;
+              tox_set = Array.map (fun x -> grid.Grid.toxs.(x)) c.c_xset;
+              group_knobs = Array.map knob_of_flat c.c_assignment;
+            }
+            :: !points
+        end)
+    bins;
+  List.rev !points
+
+let curves ~grid ~n_groups ~eval ~specs =
+  List.map (fun spec -> (spec, pareto_curve ~grid ~n_groups ~eval ~spec)) specs

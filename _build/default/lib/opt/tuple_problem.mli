@@ -1,0 +1,54 @@
+(** The (#Tox, #Vth) tuple problem (Figure 2).
+
+    A process may only offer a limited number of distinct threshold
+    voltages and oxide thicknesses.  For a given budget (n_vth values,
+    n_tox values), the designer first chooses {e which} values to buy
+    from the design grid, then assigns each knob group one of the
+    n_vth × n_tox pairs.  This module enumerates both levels exhaustively
+    and returns the Pareto frontier of (AMAT, energy) over all choices —
+    one frontier per budget, exactly the curves of the paper's Figure 2.
+
+    The evaluation callback abstracts the system model: it receives one
+    grid-knob index per group and returns the two objectives, so the
+    module stays independent of the energy layer. *)
+
+type spec = {
+  n_vth : int;
+  n_tox : int;
+}
+
+val spec_name : spec -> string
+(** e.g. ["2 Tox + 3 Vth"]. *)
+
+type point = {
+  amat : float;
+  energy : float;
+  vth_set : float array;    (** the chosen threshold values *)
+  tox_set : float array;    (** the chosen oxide values [m] *)
+  group_knobs : Nmcache_geometry.Component.knob array;  (** per group *)
+}
+
+val pareto_curve :
+  grid:Grid.t ->
+  n_groups:int ->
+  eval:(int array -> float * float) ->
+  spec:spec ->
+  point list
+(** [pareto_curve ~grid ~n_groups ~eval ~spec] — [eval idx] receives
+    [idx.(g)] = the flat grid index (vth-major, as {!Grid.knobs}) of
+    group [g]'s pair and must return [(amat, energy)].  The result is
+    the non-dominated (amat, energy) set, ascending in amat.
+
+    Raises [Invalid_argument] when the spec exceeds the grid, or
+    [n_groups] is not in [1, 8]. *)
+
+val curves :
+  grid:Grid.t ->
+  n_groups:int ->
+  eval:(int array -> float * float) ->
+  specs:spec list ->
+  (spec * point list) list
+(** {!pareto_curve} for each spec. *)
+
+val figure2_specs : spec list
+(** The five budgets of Figure 2: 2T+2V, 2T+3V, 3T+2V, 2T+1V, 1T+2V. *)

@@ -1,0 +1,17 @@
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let eps0 = 8.8541878128e-12
+let eps_sio2 = 3.9 *. eps0
+let eps_si = 11.7 *. eps0
+let room_temperature = 300.0
+let hot_temperature = 358.0
+
+let thermal_voltage ~temp_k =
+  if temp_k <= 0.0 then invalid_arg "Constants.thermal_voltage: temp_k <= 0";
+  boltzmann *. temp_k /. electron_charge
+
+(* Varshni relation: Eg(T) = Eg(0) - alpha T^2 / (T + beta), silicon
+   parameters Eg(0) = 1.170 eV, alpha = 4.73e-4 eV/K, beta = 636 K. *)
+let silicon_bandgap ~temp_k =
+  if temp_k < 0.0 then invalid_arg "Constants.silicon_bandgap: temp_k < 0";
+  1.170 -. (4.73e-4 *. temp_k *. temp_k /. (temp_k +. 636.0))

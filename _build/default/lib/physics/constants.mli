@@ -1,0 +1,34 @@
+(** Physical constants used throughout the device and circuit models.
+
+    All values are in SI units.  The module is a plain collection of
+    [float] bindings; nothing here is configurable — anything that can
+    legitimately vary between experiments (temperature, supply voltage,
+    process parameters) lives in {!Nmcache_device}. *)
+
+val boltzmann : float
+(** Boltzmann constant [J/K]. *)
+
+val electron_charge : float
+(** Elementary charge [C]. *)
+
+val eps0 : float
+(** Vacuum permittivity [F/m]. *)
+
+val eps_sio2 : float
+(** Permittivity of silicon dioxide [F/m] (3.9 · eps0). *)
+
+val eps_si : float
+(** Permittivity of silicon [F/m] (11.7 · eps0). *)
+
+val room_temperature : float
+(** 300 K — reference temperature for parameter extraction. *)
+
+val hot_temperature : float
+(** 358 K (85 °C) — default operating temperature for leakage studies. *)
+
+val thermal_voltage : temp_k:float -> float
+(** [thermal_voltage ~temp_k] is kT/q in volts at the given temperature
+    [temp_k] (kelvin).  Raises [Invalid_argument] if [temp_k <= 0]. *)
+
+val silicon_bandgap : temp_k:float -> float
+(** Temperature-dependent silicon bandgap [eV] (Varshni fit). *)

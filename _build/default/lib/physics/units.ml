@@ -1,0 +1,52 @@
+let angstrom x = x *. 1e-10
+let nm x = x *. 1e-9
+let um x = x *. 1e-6
+let mm x = x *. 1e-3
+let to_angstrom m = m /. 1e-10
+let to_nm m = m /. 1e-9
+let to_um m = m /. 1e-6
+
+let ps x = x *. 1e-12
+let ns x = x *. 1e-9
+let to_ps s = s /. 1e-12
+let to_ns s = s /. 1e-9
+
+let mw x = x *. 1e-3
+let uw x = x *. 1e-6
+let nw x = x *. 1e-9
+let to_mw w = w /. 1e-3
+let to_uw w = w /. 1e-6
+
+let pj x = x *. 1e-12
+let to_pj j = j /. 1e-12
+let fj x = x *. 1e-15
+let to_fj j = j /. 1e-15
+
+let ff x = x *. 1e-15
+let to_ff f = f /. 1e-15
+
+let na x = x *. 1e-9
+let ua x = x *. 1e-6
+let to_na a = a /. 1e-9
+let to_ua a = a /. 1e-6
+
+let cm2_of_m2 a = a *. 1e4
+let m2_of_cm2 a = a *. 1e-4
+
+(* SI prefixes from 1e-18 to 1e18, indexed so that index 6 is "" (1e0). *)
+let prefixes = [| "a"; "f"; "p"; "n"; "u"; "m"; ""; "k"; "M"; "G"; "T"; "P" |]
+
+let pp_engineering ~unit fmt v =
+  if v = 0.0 then Format.fprintf fmt "0 %s" unit
+  else if Float.is_nan v then Format.fprintf fmt "nan %s" unit
+  else if not (Float.is_finite v) then Format.fprintf fmt "%f %s" v unit
+  else begin
+    let mag = Float.abs v in
+    let exp3 = int_of_float (Float.floor (Float.log10 mag /. 3.0)) in
+    let exp3 = max (-6) (min 5 exp3) in
+    let scaled = v /. Float.pow 10.0 (float_of_int (3 * exp3)) in
+    Format.fprintf fmt "%.2f %s%s" scaled prefixes.(exp3 + 6) unit
+  end
+
+let to_engineering_string ~unit v =
+  Format.asprintf "%a" (pp_engineering ~unit) v

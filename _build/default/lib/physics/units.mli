@@ -1,0 +1,110 @@
+(** Unit conversions and engineering-notation formatting.
+
+    The code base works internally in SI units (metres, seconds, watts,
+    farads, volts, amperes).  Device-level inputs are more naturally
+    expressed in angstroms, nanometres or picoseconds; these helpers keep
+    the conversions explicit and self-documenting at call sites. *)
+
+(** {1 Length} *)
+
+val angstrom : float -> float
+(** [angstrom x] is [x] Å in metres. *)
+
+val nm : float -> float
+(** [nm x] is [x] nanometres in metres. *)
+
+val um : float -> float
+(** [um x] is [x] micrometres in metres. *)
+
+val mm : float -> float
+(** [mm x] is [x] millimetres in metres. *)
+
+val to_angstrom : float -> float
+(** [to_angstrom m] converts metres to angstroms. *)
+
+val to_nm : float -> float
+(** [to_nm m] converts metres to nanometres. *)
+
+val to_um : float -> float
+(** [to_um m] converts metres to micrometres. *)
+
+(** {1 Time} *)
+
+val ps : float -> float
+(** [ps x] is [x] picoseconds in seconds. *)
+
+val ns : float -> float
+(** [ns x] is [x] nanoseconds in seconds. *)
+
+val to_ps : float -> float
+(** [to_ps s] converts seconds to picoseconds. *)
+
+val to_ns : float -> float
+(** [to_ns s] converts seconds to nanoseconds. *)
+
+(** {1 Power and energy} *)
+
+val mw : float -> float
+(** [mw x] is [x] milliwatts in watts. *)
+
+val uw : float -> float
+(** [uw x] is [x] microwatts in watts. *)
+
+val nw : float -> float
+(** [nw x] is [x] nanowatts in watts. *)
+
+val to_mw : float -> float
+(** [to_mw w] converts watts to milliwatts. *)
+
+val to_uw : float -> float
+(** [to_uw w] converts watts to microwatts. *)
+
+val pj : float -> float
+(** [pj x] is [x] picojoules in joules. *)
+
+val to_pj : float -> float
+(** [to_pj j] converts joules to picojoules. *)
+
+val fj : float -> float
+(** [fj x] is [x] femtojoules in joules. *)
+
+val to_fj : float -> float
+(** [to_fj j] converts joules to femtojoules. *)
+
+(** {1 Capacitance and current} *)
+
+val ff : float -> float
+(** [ff x] is [x] femtofarads in farads. *)
+
+val to_ff : float -> float
+(** [to_ff f] converts farads to femtofarads. *)
+
+val na : float -> float
+(** [na x] is [x] nanoamperes in amperes. *)
+
+val ua : float -> float
+(** [ua x] is [x] microamperes in amperes. *)
+
+val to_na : float -> float
+(** [to_na a] converts amperes to nanoamperes. *)
+
+val to_ua : float -> float
+(** [to_ua a] converts amperes to microamperes. *)
+
+(** {1 Area} *)
+
+val cm2_of_m2 : float -> float
+(** [cm2_of_m2 a] converts square metres to square centimetres. *)
+
+val m2_of_cm2 : float -> float
+(** [m2_of_cm2 a] converts square centimetres to square metres. *)
+
+(** {1 Formatting} *)
+
+val pp_engineering : unit:string -> Format.formatter -> float -> unit
+(** [pp_engineering ~unit fmt v] prints [v] with an SI prefix chosen so the
+    mantissa falls in [1, 1000), e.g. [3.2e-10] with unit ["s"] prints as
+    ["320.00 ps"].  Zero, infinities and NaN are printed literally. *)
+
+val to_engineering_string : unit:string -> float -> string
+(** String version of {!pp_engineering}. *)

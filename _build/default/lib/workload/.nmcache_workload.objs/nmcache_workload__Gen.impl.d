@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Access Array Float List Nmcache_numerics

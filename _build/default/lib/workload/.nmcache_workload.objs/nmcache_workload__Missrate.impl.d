@@ -1,0 +1,1 @@
+lib/workload/missrate.ml: Access Array Gen Hashtbl List Nmcache_cachesim Printf Registry String

@@ -1,0 +1,1 @@
+lib/workload/missrate.mli: Nmcache_cachesim

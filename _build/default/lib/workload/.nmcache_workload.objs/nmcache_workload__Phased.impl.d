@@ -1,0 +1,1 @@
+lib/workload/phased.ml: Array Gen Nmcache_numerics Suites

@@ -1,0 +1,1 @@
+lib/workload/phased.mli: Gen Nmcache_numerics

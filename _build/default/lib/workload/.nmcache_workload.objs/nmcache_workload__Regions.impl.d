@@ -1,0 +1,1 @@
+lib/workload/regions.ml: Access Nmcache_numerics

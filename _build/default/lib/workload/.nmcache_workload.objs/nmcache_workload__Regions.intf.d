@@ -1,0 +1,1 @@
+lib/workload/regions.mli: Access Nmcache_numerics

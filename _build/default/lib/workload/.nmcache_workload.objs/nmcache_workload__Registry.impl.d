@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Gen List Phased Suites

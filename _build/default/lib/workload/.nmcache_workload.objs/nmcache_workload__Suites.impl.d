@@ -1,0 +1,1 @@
+lib/workload/suites.ml: Access Gen Nmcache_numerics Regions

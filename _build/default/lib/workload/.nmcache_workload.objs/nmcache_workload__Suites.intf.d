@@ -1,0 +1,1 @@
+lib/workload/suites.mli: Gen

@@ -1,0 +1,10 @@
+(** A single memory reference. *)
+
+type t = {
+  addr : int;     (** byte address *)
+  write : bool;
+}
+
+val read : int -> t
+val write : int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+(** Miss-rate tables: the interface between architectural simulation and
+    the energy/optimisation layers.
+
+    Two paths are provided:
+    - {!simulate}: exact two-level set-associative simulation of one
+      (L1 size, L2 size) pair;
+    - {!l2_curve}: one L1 simulation whose miss stream is profiled with
+      {!Nmcache_cachesim.Mattson}, yielding the L2 miss rate for {e all}
+      L2 sizes in a single pass (fully-associative LRU approximation —
+      excellent for the ≥ 8-way L2s studied here).
+
+    Results are memoised per (workload, parameters) within the process,
+    so experiments and benches can re-query freely. *)
+
+type point = {
+  l1_miss : float;     (** local L1 miss rate *)
+  l2_local : float;    (** L2 misses / L2 accesses *)
+  l2_global : float;   (** L2 misses / L1 accesses *)
+}
+
+val simulate :
+  ?l1_assoc:int ->
+  ?l2_assoc:int ->
+  ?block:int ->
+  ?policy:Nmcache_cachesim.Replacement.t ->
+  ?seed:int64 ->
+  workload:string ->
+  l1_size:int ->
+  l2_size:int ->
+  n:int ->
+  unit ->
+  point
+(** Exact simulation of [n] accesses (defaults: L1 4-way, L2 8-way,
+    64 B blocks, LRU).  Raises [Invalid_argument] for unknown workloads
+    or invalid cache shapes. *)
+
+type l2_curve = {
+  workload : string;
+  l1_size : int;
+  l1_miss_rate : float;
+  l2_sizes : int array;
+  l2_local_rates : float array;
+}
+
+val l2_curve :
+  ?l1_assoc:int ->
+  ?block:int ->
+  ?seed:int64 ->
+  workload:string ->
+  l1_size:int ->
+  l2_sizes:int array ->
+  n:int ->
+  unit ->
+  l2_curve
+(** Single-pass L2 miss-ratio curve over the given sizes. *)
+
+val averaged_l2_curve :
+  ?l1_assoc:int ->
+  ?block:int ->
+  ?seed:int64 ->
+  workloads:string list ->
+  l1_size:int ->
+  l2_sizes:int array ->
+  n:int ->
+  unit ->
+  l2_curve
+(** Arithmetic mean of per-workload curves — the paper's "results from
+    various benchmark suites are collected".  The [workload] field is
+    the concatenation of the names.  Raises [Invalid_argument] on an
+    empty workload list. *)
+
+val l1_sweep :
+  ?l1_assoc:int ->
+  ?block:int ->
+  ?policy:Nmcache_cachesim.Replacement.t ->
+  ?seed:int64 ->
+  workload:string ->
+  l1_sizes:int array ->
+  n:int ->
+  unit ->
+  float array
+(** Local L1 miss rate per size (L1 miss rates don't depend on L2). *)
+
+val clear_cache : unit -> unit
+(** Drop all memoised results (tests use this to bound memory). *)

@@ -1,0 +1,24 @@
+(** Phase-switching workloads.
+
+    Real programs run in phases (loop nests, query batches, request
+    bursts) rather than drawing from one stationary mixture.  A phased
+    generator cycles through sub-generators, holding each for a dwell
+    time drawn around a mean — which produces the non-stationary cache
+    behaviour (working-set migration, periodic cold restarts) that
+    stationary mixtures cannot. *)
+
+val cycle :
+  name:string ->
+  rng:Nmcache_numerics.Rng.t ->
+  dwell:int ->
+  Gen.t list ->
+  Gen.t
+(** [cycle ~name ~rng ~dwell phases] plays each phase for a geometric
+    dwell of mean [dwell] accesses, then moves to the next (wrapping).
+    Raises [Invalid_argument] on an empty phase list or [dwell < 1]. *)
+
+val spec_phased : seed:int64 -> unit -> Gen.t
+(** A phased SPEC-like composite: alternates the gcc-like, mcf-like and
+    art-like variants with ~200k-access dwells — used by the
+    phase-sensitivity tests and available from the registry as
+    ["spec2000-phased"]. *)

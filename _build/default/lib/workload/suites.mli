@@ -1,0 +1,26 @@
+(** Synthetic stand-ins for the paper's benchmark suites.
+
+    The paper gathers cache statistics from SPEC2000, SPECWEB and TPC-C
+    runs; those traces are proprietary, so each suite is replaced by a
+    seeded generator tuned to the published locality structure the
+    experiments depend on (see DESIGN.md §2):
+
+    - SPEC-like: small hot loop set + Zipf heap + streaming + cold
+      pointer chasing; L1 miss rates low (a few %) and nearly flat in
+      L1 size, L2 local miss rate falling with size;
+    - SPECWEB-like: Zipf-popular objects scanned sequentially over a
+      large footprint;
+    - TPCC-like: B-tree root/internal/leaf walks plus sequential log
+      writes over a very large footprint. *)
+
+type spec_variant =
+  | Mix   (** the blend used by the headline experiments *)
+  | Gcc   (** small working set, control-heavy *)
+  | Mcf   (** pointer chasing, large sparse footprint *)
+  | Art   (** streaming-dominated *)
+
+val spec_variant_name : spec_variant -> string
+
+val spec_like : ?variant:spec_variant -> seed:int64 -> unit -> Gen.t
+val specweb_like : seed:int64 -> unit -> Gen.t
+val tpcc_like : seed:int64 -> unit -> Gen.t

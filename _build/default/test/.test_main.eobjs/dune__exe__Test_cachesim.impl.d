@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Int64 List Nmcache_cachesim Nmcache_numerics QCheck QCheck_alcotest

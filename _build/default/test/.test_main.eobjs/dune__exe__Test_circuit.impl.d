@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Float Nmcache_circuit Nmcache_device Nmcache_physics Printf

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Float List Nmcache_device Nmcache_physics Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Float Lazy List Nmcache_device Nmcache_energy Nmcache_fit Nmcache_geometry Nmcache_physics Printf

@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Float Lazy List Nmcache_device Nmcache_fit Nmcache_geometry Nmcache_physics Printf

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float List Nmcache_device Nmcache_geometry Nmcache_physics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Float Lazy List Nmcache_fit Nmcache_geometry Nmcache_opt Nmcache_physics Option Printf String

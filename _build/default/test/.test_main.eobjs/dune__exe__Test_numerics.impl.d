@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Int64 List Nmcache_numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Float Gen Lazy List Nmcache_device Nmcache_fit Nmcache_geometry Nmcache_numerics Nmcache_opt Nmcache_physics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_physics.ml: Alcotest Float Nmcache_physics Printf

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Float Nmcache_circuit Nmcache_device Nmcache_physics Printf

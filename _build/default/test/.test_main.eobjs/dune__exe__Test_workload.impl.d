@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Nmcache_numerics Nmcache_workload Printf

@@ -1,0 +1,159 @@
+(* Tests for AMAT arithmetic, the main-memory model and system energy
+   accounting. *)
+
+module Units = Nmcache_physics.Units
+module Amat = Nmcache_energy.Amat
+module Main_memory = Nmcache_energy.Main_memory
+module System = Nmcache_energy.System
+module Component = Nmcache_geometry.Component
+module Config = Nmcache_geometry.Config
+module Cache_model = Nmcache_geometry.Cache_model
+module Fitted_cache = Nmcache_fit.Fitted_cache
+module Tech = Nmcache_device.Tech
+
+let a = Units.angstrom
+
+let close ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %g vs %g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1.0 (Float.abs expected))
+
+(* --- amat ----------------------------------------------------------------- *)
+
+let test_amat_formula () =
+  let amat = Amat.two_level ~t_l1:1e-10 ~t_l2:1e-9 ~t_mem:4e-8 ~m1:0.05 ~m2:0.5 in
+  close "amat" (1e-10 +. (0.05 *. (1e-9 +. (0.5 *. 4e-8)))) amat
+
+let test_amat_zero_misses () =
+  close "perfect L1" 1e-10 (Amat.two_level ~t_l1:1e-10 ~t_l2:1e-9 ~t_mem:4e-8 ~m1:0.0 ~m2:1.0)
+
+let test_amat_validation () =
+  Alcotest.(check bool) "bad miss rate" true
+    (try
+       ignore (Amat.two_level ~t_l1:1.0 ~t_l2:1.0 ~t_mem:1.0 ~m1:1.5 ~m2:0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative time" true
+    (try
+       ignore (Amat.single_level ~t_l1:(-1.0) ~t_mem:1.0 ~m1:0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_required_t_l2_inverse () =
+  (* plugging the solved T_L2 back must reproduce the target *)
+  let t_l1 = 2e-10 and t_mem = 4e-8 and m1 = 0.06 and m2 = 0.4 in
+  let amat = 2e-9 in
+  (match Amat.required_t_l2 ~amat ~t_l1 ~t_mem ~m1 ~m2 with
+  | None -> Alcotest.fail "expected feasible"
+  | Some t_l2 -> close "inverse" amat (Amat.two_level ~t_l1 ~t_l2 ~t_mem ~m1 ~m2) ~eps:1e-9);
+  (* infeasible when the memory term alone exceeds the budget *)
+  Alcotest.(check bool) "infeasible detected" true
+    (Amat.required_t_l2 ~amat:1e-9 ~t_l1:2e-10 ~t_mem:4e-8 ~m1:0.5 ~m2:0.9 = None)
+
+(* --- main memory ------------------------------------------------------------ *)
+
+let test_main_memory () =
+  let m = Main_memory.ddr2_like in
+  Alcotest.(check bool) "latency tens of ns" true
+    (m.Main_memory.t_access > Units.ns 10.0 && m.Main_memory.t_access < Units.ns 100.0);
+  Alcotest.(check bool) "energy nJ scale" true
+    (m.Main_memory.e_access > Units.pj 100.0 && m.Main_memory.e_access < Units.pj 10000.0);
+  Alcotest.(check bool) "validation" true
+    (try
+       ignore (Main_memory.make ~t_access:0.0 ~e_access:1.0 ~standby_w:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- system ------------------------------------------------------------------- *)
+
+let tech = Tech.bptm65
+
+let sys =
+  lazy
+    (let l1 =
+       Fitted_cache.characterize_and_fit
+         (Cache_model.make tech (Config.make ~size_bytes:(16 * 1024) ~assoc:4 ~block_bytes:64 ()))
+     in
+     let l2 =
+       Fitted_cache.characterize_and_fit
+         (Cache_model.make tech
+            (Config.make ~size_bytes:(256 * 1024) ~assoc:8 ~block_bytes:64 ()))
+     in
+     System.make ~l1 ~l2 ~mem:Main_memory.ddr2_like ~m1:0.05 ~m2:0.4)
+
+let ref_knob = Component.knob ~vth:0.3 ~tox:(a 12.0)
+
+let test_system_consistency () =
+  let s = Lazy.force sys in
+  let e = System.evaluate_uniform s ref_knob in
+  (* energy = dynamic + leakage x amat *)
+  close "energy accounting"
+    (e.System.dyn_energy +. (e.System.leak_w *. e.System.amat))
+    e.System.energy_per_access ~eps:1e-12;
+  (* amat consistent with the pieces *)
+  close "amat recomputed"
+    (Amat.two_level ~t_l1:e.System.t_l1 ~t_l2:e.System.t_l2
+       ~t_mem:Main_memory.ddr2_like.Main_memory.t_access ~m1:0.05 ~m2:0.4)
+    e.System.amat ~eps:1e-12
+
+let test_system_groups_cover_components () =
+  let s = Lazy.force sys in
+  (* the four groups partition each cache's components: group delays must
+     sum to the fitted cache totals *)
+  let l1c = System.eval_group s System.L1_cell ref_knob in
+  let l1p = System.eval_group s System.L1_periph ref_knob in
+  let direct = Fitted_cache.eval (System.l1 s) (Component.uniform ref_knob) in
+  close "L1 delay partition" direct.Fitted_cache.access_time
+    (l1c.System.delay +. l1p.System.delay) ~eps:1e-12;
+  close "L1 leak partition" direct.Fitted_cache.leak_w
+    (l1c.System.leak_w +. l1p.System.leak_w) ~eps:1e-12
+
+let test_conservative_cells_reduce_leakage () =
+  let s = Lazy.force sys in
+  let flat = System.evaluate_uniform s ref_knob in
+  let pick = function
+    | System.L1_cell | System.L2_cell -> Component.knob ~vth:0.5 ~tox:(a 14.0)
+    | System.L1_periph | System.L2_periph -> ref_knob
+  in
+  let split = System.evaluate s pick in
+  Alcotest.(check bool) "cells conservative => less leakage" true
+    (split.System.leak_w < flat.System.leak_w);
+  Alcotest.(check bool) "but slower" true (split.System.amat > flat.System.amat)
+
+let test_miss_rates_affect_amat () =
+  let s = Lazy.force sys in
+  let worse = System.make ~l1:(System.l1 s) ~l2:(System.l2 s) ~mem:(System.mem s) ~m1:0.10 ~m2:0.6 in
+  let e1 = System.evaluate_uniform s ref_knob in
+  let e2 = System.evaluate_uniform worse ref_knob in
+  Alcotest.(check bool) "worse misses, worse amat" true (e2.System.amat > e1.System.amat);
+  Alcotest.(check bool) "worse misses, more energy" true
+    (e2.System.energy_per_access > e1.System.energy_per_access)
+
+let test_system_validation () =
+  let s = Lazy.force sys in
+  Alcotest.(check bool) "bad m1" true
+    (try
+       ignore (System.make ~l1:(System.l1 s) ~l2:(System.l2 s) ~mem:(System.mem s) ~m1:1.2 ~m2:0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_group_names () =
+  Alcotest.(check int) "four groups" 4 (List.length System.groups);
+  let idx = List.map System.group_index System.groups in
+  Alcotest.(check (list int)) "indices 0..3" [ 0; 1; 2; 3 ] idx
+
+let suite =
+  [
+    Alcotest.test_case "amat formula" `Quick test_amat_formula;
+    Alcotest.test_case "amat zero misses" `Quick test_amat_zero_misses;
+    Alcotest.test_case "amat validation" `Quick test_amat_validation;
+    Alcotest.test_case "required T_L2 inverse" `Quick test_required_t_l2_inverse;
+    Alcotest.test_case "main memory model" `Quick test_main_memory;
+    Alcotest.test_case "system energy accounting" `Quick test_system_consistency;
+    Alcotest.test_case "groups partition components" `Quick test_system_groups_cover_components;
+    Alcotest.test_case "conservative cells" `Quick test_conservative_cells_reduce_leakage;
+    Alcotest.test_case "miss rates drive amat" `Quick test_miss_rates_affect_amat;
+    Alcotest.test_case "system validation" `Quick test_system_validation;
+    Alcotest.test_case "group names/indices" `Quick test_group_names;
+  ]

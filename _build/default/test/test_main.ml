@@ -1,0 +1,22 @@
+(* Entry point aggregating every suite. *)
+
+let () =
+  Alcotest.run "nmcache"
+    [
+      ("physics", Test_physics.suite);
+      ("numerics", Test_numerics.suite);
+      ("device", Test_device.suite);
+      ("circuit", Test_circuit.suite);
+      ("transient", Test_transient.suite);
+      ("geometry", Test_geometry.suite);
+      ("fit", Test_fit.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("mattson", Test_mattson.suite);
+      ("workload", Test_workload.suite);
+      ("energy", Test_energy.suite);
+      ("opt", Test_opt.suite);
+      ("report", Test_report.suite);
+      ("extensions", Test_extensions.suite);
+      ("extras", Test_extras.suite);
+      ("integration", Test_integration.suite);
+    ]

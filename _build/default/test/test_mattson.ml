@@ -1,0 +1,133 @@
+(* Tests for the Mattson reuse-distance profiler, including equivalence
+   with direct fully-associative LRU simulation — the correctness core
+   of the miss-rate machinery. *)
+
+module Mattson = Nmcache_cachesim.Mattson
+module Cache = Nmcache_cachesim.Cache
+module Replacement = Nmcache_cachesim.Replacement
+module Stats = Nmcache_cachesim.Stats
+module Rng = Nmcache_numerics.Rng
+
+let test_simple_distances () =
+  let m = Mattson.create ~block_bytes:64 () in
+  (* A B A: distance of the second A is 1 (B in between) *)
+  Mattson.access m 0;
+  Mattson.access m 64;
+  Mattson.access m 0;
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 1) ] (Mattson.histogram m);
+  Alcotest.(check int) "distinct" 2 (Mattson.distinct_blocks m);
+  Alcotest.(check int) "accesses" 3 (Mattson.accesses m)
+
+let test_immediate_reuse () =
+  let m = Mattson.create ~block_bytes:64 () in
+  Mattson.access m 0;
+  Mattson.access m 32;
+  (* same block *)
+  Alcotest.(check (list (pair int int))) "distance 0" [ (0, 1) ] (Mattson.histogram m)
+
+let test_cyclic_distances () =
+  (* cycling through k blocks gives steady-state distance k-1 *)
+  let k = 8 in
+  let m = Mattson.create ~block_bytes:64 () in
+  for _ = 1 to 5 do
+    for i = 0 to k - 1 do
+      Mattson.access m (i * 64)
+    done
+  done;
+  let hist = Mattson.histogram m in
+  Alcotest.(check (list (pair int int))) "all warm distances are k-1"
+    [ (k - 1, (5 * k) - k) ]
+    hist;
+  (* capacity k holds the loop; capacity k-1 thrashes *)
+  Alcotest.(check int) "fits" k (Mattson.misses_at m ~capacity_blocks:k);
+  Alcotest.(check int) "thrashes"
+    (5 * k)
+    (Mattson.misses_at m ~capacity_blocks:(k - 1))
+
+let test_curve_monotone () =
+  let m = Mattson.create ~block_bytes:64 () in
+  let rng = Rng.create ~seed:12L in
+  for _ = 1 to 50_000 do
+    Mattson.access m (64 * Rng.int rng ~bound:4096)
+  done;
+  let caps = [| 16; 64; 256; 1024; 4096 |] in
+  let curve = Mattson.miss_ratio_curve m ~capacities:caps in
+  for i = 1 to Array.length curve - 1 do
+    Alcotest.(check bool) "non-increasing" true (curve.(i) <= curve.(i - 1) +. 1e-12)
+  done
+
+let test_measuring_flag () =
+  let m = Mattson.create ~block_bytes:64 () in
+  Mattson.set_measuring m false;
+  for i = 0 to 99 do
+    Mattson.access m (i * 64)
+  done;
+  Alcotest.(check int) "warmup not counted" 0 (Mattson.accesses m);
+  Alcotest.(check int) "no cold misses recorded" 0 (Mattson.cold_misses m);
+  Mattson.set_measuring m true;
+  (* re-touch a warm block: its distance must reflect the warmup stack *)
+  Mattson.access m 0;
+  Alcotest.(check int) "one measured access" 1 (Mattson.accesses m);
+  Alcotest.(check (list (pair int int))) "distance spans warmup" [ (99, 1) ]
+    (Mattson.histogram m)
+
+let test_compaction () =
+  (* force timestamp compaction with a small initial capacity *)
+  let m = Mattson.create ~initial_capacity:128 ~block_bytes:64 () in
+  let rng = Rng.create ~seed:13L in
+  let reference = Mattson.create ~initial_capacity:(1 lsl 20) ~block_bytes:64 () in
+  let trace = Array.init 5_000 (fun _ -> 64 * Rng.int rng ~bound:100) in
+  Array.iter
+    (fun a ->
+      Mattson.access m a;
+      Mattson.access reference a)
+    trace;
+  Alcotest.(check (list (pair int int))) "compaction preserves histogram"
+    (Mattson.histogram reference) (Mattson.histogram m)
+
+(* Property: Mattson misses = direct fully-associative LRU simulation. *)
+let prop_matches_fullassoc_lru =
+  QCheck.Test.make ~count:25 ~name:"Mattson = fully-associative LRU simulation"
+    QCheck.(pair (int_bound 100_000) (int_range 1 6))
+    (fun (seed, log_cap) ->
+      let capacity = 1 lsl log_cap in
+      let m = Mattson.create ~block_bytes:64 () in
+      let cache =
+        Cache.create ~size_bytes:(capacity * 64) ~assoc:capacity ~block_bytes:64
+          ~policy:Replacement.Lru ()
+      in
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      for _ = 1 to 3_000 do
+        (* keep all blocks in set 0 of the cache: stride = capacity blocks *)
+        let b = Rng.int rng ~bound:200 in
+        let addr_cache = b * 64 * capacity in
+        let addr_mattson = b * 64 in
+        ignore (Cache.access cache addr_cache ~write:false);
+        Mattson.access m addr_mattson
+      done;
+      (Cache.stats cache).Stats.misses = Mattson.misses_at m ~capacity_blocks:capacity)
+
+let test_validation () =
+  Alcotest.(check bool) "bad block size" true
+    (try
+       ignore (Mattson.create ~block_bytes:48 ());
+       false
+     with Invalid_argument _ -> true);
+  let m = Mattson.create ~block_bytes:64 () in
+  Alcotest.(check bool) "bad capacity" true
+    (try
+       ignore (Mattson.misses_at m ~capacity_blocks:0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "simple distances" `Quick test_simple_distances;
+    Alcotest.test_case "immediate reuse" `Quick test_immediate_reuse;
+    Alcotest.test_case "cyclic distances" `Quick test_cyclic_distances;
+    Alcotest.test_case "miss curve monotone" `Quick test_curve_monotone;
+    Alcotest.test_case "measuring flag" `Quick test_measuring_flag;
+    Alcotest.test_case "timestamp compaction" `Quick test_compaction;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_matches_fullassoc_lru ]

@@ -1,0 +1,344 @@
+(* Unit + property tests for nmcache_numerics. *)
+
+module Matrix = Nmcache_numerics.Matrix
+module Linsolve = Nmcache_numerics.Linsolve
+module Lm = Nmcache_numerics.Lm
+module Minimize = Nmcache_numerics.Minimize
+module Stats = Nmcache_numerics.Stats
+module Rng = Nmcache_numerics.Rng
+module Zipf = Nmcache_numerics.Zipf
+
+let close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g vs %.12g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1.0 (Float.abs expected))
+
+(* --- matrix --------------------------------------------------------- *)
+
+let test_matrix_basics () =
+  let m = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  close "get" 3.0 (Matrix.get m 1 0);
+  Matrix.set m 1 0 7.0;
+  close "set" 7.0 (Matrix.get m 1 0);
+  Alcotest.(check int) "rows" 2 (Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Matrix.cols m)
+
+let test_matrix_validation () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Matrix.of_rows: ragged rows") (fun () ->
+      ignore (Matrix.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]));
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Matrix.create: non-positive dimension") (fun () ->
+      ignore (Matrix.create ~rows:0 ~cols:3))
+
+let test_matrix_mul () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  close "c00" 19.0 (Matrix.get c 0 0);
+  close "c01" 22.0 (Matrix.get c 0 1);
+  close "c10" 43.0 (Matrix.get c 1 0);
+  close "c11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_identity_transpose () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let at = Matrix.transpose a in
+  Alcotest.(check bool) "transpose twice" true (Matrix.equal a (Matrix.transpose at));
+  let i3 = Matrix.identity 3 in
+  Alcotest.(check bool) "a * I = a" true (Matrix.equal a (Matrix.mul a i3))
+
+let test_mul_vec () =
+  let a = Matrix.of_rows [| [| 2.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let y = Matrix.mul_vec a [| 3.0; 4.0 |] in
+  close "y0" 6.0 y.(0);
+  close "y1" 7.0 y.(1)
+
+(* --- linsolve ------------------------------------------------------- *)
+
+let test_solve_exact () =
+  let a = Matrix.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linsolve.solve a [| 5.0; 10.0 |] in
+  close "x0" 1.0 x.(0) ~eps:1e-12;
+  close "x1" 3.0 x.(1) ~eps:1e-12
+
+let test_solve_singular () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Linsolve.Singular (fun () ->
+      ignore (Linsolve.solve a [| 1.0; 2.0 |]))
+
+let test_invert () =
+  let a = Matrix.of_rows [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Linsolve.invert a in
+  Alcotest.(check bool) "a * a^-1 = I" true
+    (Matrix.equal ~eps:1e-9 (Matrix.mul a inv) (Matrix.identity 2))
+
+let test_lstsq_overdetermined () =
+  (* y = 2x + 1 with exact data: least squares recovers it *)
+  let rows = Array.init 10 (fun i -> [| 1.0; float_of_int i |]) in
+  let ys = Array.init 10 (fun i -> 1.0 +. (2.0 *. float_of_int i)) in
+  let c = Linsolve.lstsq (Matrix.of_rows rows) ys in
+  close "intercept" 1.0 c.(0) ~eps:1e-6;
+  close "slope" 2.0 c.(1) ~eps:1e-6
+
+let prop_solve_recovers =
+  QCheck.Test.make ~count:100 ~name:"solve recovers random well-conditioned systems"
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (seed, _) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let n = 1 + Rng.int rng ~bound:5 in
+      (* diagonally dominant => well-conditioned *)
+      let a = Matrix.create ~rows:n ~cols:n in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Matrix.set a i j (Rng.float_range rng ~lo:(-1.0) ~hi:1.0)
+        done;
+        Matrix.set a i i (Rng.float_range rng ~lo:5.0 ~hi:10.0)
+      done;
+      let x = Array.init n (fun _ -> Rng.float_range rng ~lo:(-10.0) ~hi:10.0) in
+      let b = Matrix.mul_vec a x in
+      let x' = Linsolve.solve a b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x')
+
+(* --- lm -------------------------------------------------------------- *)
+
+let test_lm_exponential_recovery () =
+  (* recover y = 2 + 3 exp(-4 x) *)
+  let f theta (x : float array) = theta.(0) +. (theta.(1) *. Float.exp (theta.(2) *. x.(0))) in
+  let xs = Array.init 40 (fun i -> [| float_of_int i /. 20.0 |]) in
+  let ys = Array.map (fun x -> 2.0 +. (3.0 *. Float.exp (-4.0 *. x.(0)))) xs in
+  let r = Lm.fit ~f ~xs ~ys ~init:[| 1.0; 1.0; -1.0 |] () in
+  close "theta0" 2.0 r.Lm.params.(0) ~eps:1e-3;
+  close "theta1" 3.0 r.Lm.params.(1) ~eps:1e-3;
+  close "theta2" (-4.0) r.Lm.params.(2) ~eps:1e-3;
+  Alcotest.(check bool) "small residual" true (r.Lm.residual < 1e-5)
+
+let test_lm_validation () =
+  let f theta (_ : float array) = theta.(0) in
+  Alcotest.check_raises "no samples" (Invalid_argument "Lm.fit: no samples") (fun () ->
+      ignore (Lm.fit ~f ~xs:[||] ~ys:[||] ~init:[| 0.0 |] ()))
+
+(* --- minimize --------------------------------------------------------- *)
+
+let test_golden_section () =
+  let x = Minimize.golden_section ~f:(fun x -> (x -. 1.7) ** 2.0) ~lo:(-10.0) ~hi:10.0 () in
+  close "quadratic minimum" 1.7 x ~eps:1e-5
+
+let test_grid_min () =
+  let x, v = Minimize.grid_min ~f:(fun x -> Float.abs (x -. 0.5)) ~lo:0.0 ~hi:1.0 ~steps:10 in
+  close "argmin" 0.5 x ~eps:1e-9;
+  close "min value" 0.0 v ~eps:1e-9
+
+let test_argmin () =
+  Alcotest.(check (option int)) "argmin list" (Some 3)
+    (Minimize.argmin (fun x -> Float.abs (float_of_int (x - 3))) [ 1; 5; 3; 9 ]);
+  Alcotest.(check (option int)) "argmin empty" None (Minimize.argmin float_of_int [])
+
+let test_linspace () =
+  let xs = Minimize.linspace ~lo:0.0 ~hi:1.0 ~steps:4 in
+  Alcotest.(check int) "length" 5 (Array.length xs);
+  close "first" 0.0 xs.(0);
+  close "middle" 0.5 xs.(2);
+  close "last" 1.0 xs.(4)
+
+let test_bisect () =
+  let root = Minimize.bisect ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 () in
+  close "sqrt 2" (Float.sqrt 2.0) root ~eps:1e-9
+
+let prop_golden_unimodal =
+  QCheck.Test.make ~count:100 ~name:"golden section on shifted quadratics"
+    QCheck.(float_range (-50.0) 50.0)
+    (fun c ->
+      let x = Minimize.golden_section ~f:(fun x -> (x -. c) ** 2.0) ~lo:(-100.0) ~hi:100.0 () in
+      Float.abs (x -. c) < 1e-4)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let test_stats_basics () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  close "mean" 5.0 (Stats.mean xs);
+  close "stddev" 2.0 (Stats.stddev xs);
+  close "min" 2.0 (Stats.minimum xs);
+  close "max" 9.0 (Stats.maximum xs)
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  close "median" 3.0 (Stats.percentile xs 50.0);
+  close "p0" 1.0 (Stats.percentile xs 0.0);
+  close "p100" 5.0 (Stats.percentile xs 100.0);
+  close "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_r_squared () =
+  let actual = [| 1.0; 2.0; 3.0 |] in
+  close "perfect" 1.0 (Stats.r_squared ~actual ~predicted:actual);
+  let mean_pred = [| 2.0; 2.0; 2.0 |] in
+  close "mean predictor" 0.0 (Stats.r_squared ~actual ~predicted:mean_pred)
+
+let test_rel_errors () =
+  let actual = [| 10.0; 100.0 |] and predicted = [| 11.0; 90.0 |] in
+  close "max rel" 0.1 (Stats.max_rel_error ~actual ~predicted);
+  Alcotest.(check bool) "rms <= max" true
+    (Stats.rms_rel_error ~actual ~predicted <= Stats.max_rel_error ~actual ~predicted)
+
+let test_geometric_mean () =
+  close "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive element") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_reproducible () =
+  let a = Rng.create ~seed:99L and b = Rng.create ~seed:99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different streams" 0 !same
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng ~bound:7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_float_unit () =
+  let rng = Rng.create ~seed:6L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create ~seed:7L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng ~bound:10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "within 5% of uniform" true
+        (abs (c - expected) < expected / 20))
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:8L in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "still a permutation" true (sorted = Array.init 100 (fun i -> i))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:9L in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:3.0
+  done;
+  close "exponential mean" 3.0 (!acc /. float_of_int n) ~eps:0.05
+
+let test_rng_geometric () =
+  let rng = Rng.create ~seed:10L in
+  let n = 50_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Rng.geometric rng ~p:0.25
+  done;
+  (* mean of geometric on {0,1,...} is (1-p)/p = 3 *)
+  close "geometric mean" 3.0 (float_of_int !acc /. float_of_int n) ~eps:0.05
+
+let test_splitmix_known () =
+  (* splitmix64 must be a pure function *)
+  Alcotest.(check int64) "deterministic" (Rng.splitmix64 42L) (Rng.splitmix64 42L);
+  Alcotest.(check bool) "mixes" true (Rng.splitmix64 1L <> Rng.splitmix64 2L)
+
+(* --- zipf ---------------------------------------------------------------- *)
+
+let test_zipf_pmf_sums () =
+  let z = Zipf.create ~n:100 ~s:0.9 in
+  let total = ref 0.0 in
+  for k = 0 to 99 do
+    total := !total +. Zipf.pmf z k
+  done;
+  close "pmf sums to 1" 1.0 !total ~eps:1e-9
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:50 ~s:1.1 in
+  for k = 1 to 49 do
+    Alcotest.(check bool) "pmf decreasing" true (Zipf.pmf z k <= Zipf.pmf z (k - 1) +. 1e-15)
+  done
+
+let test_zipf_uniform_degenerate () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  for k = 0 to 9 do
+    close "uniform pmf" 0.1 (Zipf.pmf z k) ~eps:1e-9
+  done
+
+let test_zipf_sampling_matches_pmf () =
+  let z = Zipf.create ~n:20 ~s:0.8 in
+  let rng = Rng.create ~seed:11L in
+  let counts = Array.make 20 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 4 do
+    let expected = Zipf.pmf z k *. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d frequency" k)
+      true
+      (Float.abs (float_of_int counts.(k) -. expected) < 0.05 *. expected)
+  done
+
+let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_solve_recovers; prop_golden_unimodal ]
+
+let suite =
+  [
+    Alcotest.test_case "matrix basics" `Quick test_matrix_basics;
+    Alcotest.test_case "matrix validation" `Quick test_matrix_validation;
+    Alcotest.test_case "matrix multiplication" `Quick test_matrix_mul;
+    Alcotest.test_case "identity and transpose" `Quick test_matrix_identity_transpose;
+    Alcotest.test_case "matrix-vector product" `Quick test_mul_vec;
+    Alcotest.test_case "solve exact system" `Quick test_solve_exact;
+    Alcotest.test_case "solve singular raises" `Quick test_solve_singular;
+    Alcotest.test_case "matrix inverse" `Quick test_invert;
+    Alcotest.test_case "least squares on a line" `Quick test_lstsq_overdetermined;
+    Alcotest.test_case "LM recovers exponential" `Quick test_lm_exponential_recovery;
+    Alcotest.test_case "LM validation" `Quick test_lm_validation;
+    Alcotest.test_case "golden section" `Quick test_golden_section;
+    Alcotest.test_case "grid minimum" `Quick test_grid_min;
+    Alcotest.test_case "argmin" `Quick test_argmin;
+    Alcotest.test_case "linspace" `Quick test_linspace;
+    Alcotest.test_case "bisection root" `Quick test_bisect;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "percentiles" `Quick test_percentile;
+    Alcotest.test_case "r squared" `Quick test_r_squared;
+    Alcotest.test_case "relative errors" `Quick test_rel_errors;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "rng reproducible" `Quick test_rng_reproducible;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng float unit interval" `Quick test_rng_float_unit;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "exponential sample mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "geometric sample mean" `Quick test_rng_geometric;
+    Alcotest.test_case "splitmix64" `Quick test_splitmix_known;
+    Alcotest.test_case "zipf pmf sums to one" `Quick test_zipf_pmf_sums;
+    Alcotest.test_case "zipf pmf monotone" `Quick test_zipf_monotone;
+    Alcotest.test_case "zipf s=0 uniform" `Quick test_zipf_uniform_degenerate;
+    Alcotest.test_case "zipf sampling frequencies" `Quick test_zipf_sampling_matches_pmf;
+  ]
+  @ qcheck

@@ -1,0 +1,72 @@
+(* Unit tests for nmcache_physics: constants and unit conversions. *)
+
+module Constants = Nmcache_physics.Constants
+module Units = Nmcache_physics.Units
+
+let close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g vs %.12g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1.0 (Float.abs expected))
+
+let test_thermal_voltage () =
+  close "vT at 300K" 0.025852 (Constants.thermal_voltage ~temp_k:300.0) ~eps:1e-4;
+  close "vT at 358K" 0.030850 (Constants.thermal_voltage ~temp_k:358.0) ~eps:1e-4
+
+let test_thermal_voltage_invalid () =
+  Alcotest.check_raises "temp <= 0 rejected"
+    (Invalid_argument "Constants.thermal_voltage: temp_k <= 0") (fun () ->
+      ignore (Constants.thermal_voltage ~temp_k:0.0))
+
+let test_bandgap () =
+  (* silicon bandgap shrinks with temperature; ~1.12 eV at 300 K *)
+  let eg300 = Constants.silicon_bandgap ~temp_k:300.0 in
+  let eg400 = Constants.silicon_bandgap ~temp_k:400.0 in
+  close "Eg(300K)" 1.1245 eg300 ~eps:1e-3;
+  Alcotest.(check bool) "Eg decreases with T" true (eg400 < eg300)
+
+let test_permittivities () =
+  Alcotest.(check bool) "eps ordering" true
+    (Constants.eps0 < Constants.eps_sio2 && Constants.eps_sio2 < Constants.eps_si)
+
+let test_length_roundtrip () =
+  close "angstrom roundtrip" 12.0 (Units.to_angstrom (Units.angstrom 12.0));
+  close "nm roundtrip" 65.0 (Units.to_nm (Units.nm 65.0));
+  close "um roundtrip" 3.5 (Units.to_um (Units.um 3.5));
+  close "1 nm = 10 A" 10.0 (Units.to_angstrom (Units.nm 1.0))
+
+let test_time_power_energy () =
+  close "ps roundtrip" 250.0 (Units.to_ps (Units.ps 250.0));
+  close "ns to ps" 1500.0 (Units.to_ps (Units.ns 1.5));
+  close "mw roundtrip" 42.0 (Units.to_mw (Units.mw 42.0));
+  close "uw in mw" 0.5 (Units.to_mw (Units.uw 500.0));
+  close "pj roundtrip" 7.0 (Units.to_pj (Units.pj 7.0));
+  close "fj in pj" 0.25 (Units.to_pj (Units.fj 250.0));
+  close "ff roundtrip" 12.0 (Units.to_ff (Units.ff 12.0));
+  close "na/ua" 1000.0 (Units.to_na (Units.ua 1.0))
+
+let test_area () =
+  close "m2 to cm2" 1e4 (Units.cm2_of_m2 1.0);
+  close "cm2 roundtrip" 2.5 (Units.cm2_of_m2 (Units.m2_of_cm2 2.5))
+
+let test_engineering_format () =
+  Alcotest.(check string) "ps" "320.00 ps" (Units.to_engineering_string ~unit:"s" 320e-12);
+  Alcotest.(check string) "mW" "54.00 mW" (Units.to_engineering_string ~unit:"W" 0.054);
+  Alcotest.(check string) "zero" "0 s" (Units.to_engineering_string ~unit:"s" 0.0);
+  Alcotest.(check string) "kilo" "2.50 kV" (Units.to_engineering_string ~unit:"V" 2500.0)
+
+let test_engineering_negative () =
+  Alcotest.(check string) "negative" "-3.30 mA" (Units.to_engineering_string ~unit:"A" (-3.3e-3))
+
+let suite =
+  [
+    Alcotest.test_case "thermal voltage" `Quick test_thermal_voltage;
+    Alcotest.test_case "thermal voltage validation" `Quick test_thermal_voltage_invalid;
+    Alcotest.test_case "silicon bandgap" `Quick test_bandgap;
+    Alcotest.test_case "permittivity ordering" `Quick test_permittivities;
+    Alcotest.test_case "length conversions" `Quick test_length_roundtrip;
+    Alcotest.test_case "time/power/energy conversions" `Quick test_time_power_energy;
+    Alcotest.test_case "area conversions" `Quick test_area;
+    Alcotest.test_case "engineering notation" `Quick test_engineering_format;
+    Alcotest.test_case "engineering notation negative" `Quick test_engineering_negative;
+  ]

@@ -1,0 +1,74 @@
+(* Tests for the report rendering layer. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_contains_cells () =
+  let t =
+    Core.Report.table ~title:"demo" ~columns:[ "col1"; "col2" ]
+      ~rows:[ [ "alpha"; "beta" ] ]
+  in
+  let s = Core.Report.render [ t ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "demo"; "col1"; "col2"; "alpha"; "beta" ]
+
+let test_table_validation () =
+  Alcotest.(check bool) "ragged row rejected" true
+    (try
+       ignore (Core.Report.table ~title:"x" ~columns:[ "a"; "b" ] ~rows:[ [ "1" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chart_rendering () =
+  let c =
+    Core.Report.chart ~title:"curve" ~x_label:"x" ~y_label:"y"
+      [ { Core.Report.label = "s1"; points = [ (1.0, 2.0); (3.0, 4.0) ] } ]
+  in
+  let s = Core.Report.render [ c ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "curve"; "s1"; "1"; "4" ]
+
+let test_note_and_helpers () =
+  let s = Core.Report.render [ Core.Report.note "hello world" ] in
+  Alcotest.(check bool) "note text" true (contains s "hello world");
+  Alcotest.(check string) "fmt_f" "3.14" (Core.Report.fmt_f 3.14159);
+  Alcotest.(check string) "fmt_f decimals" "3.1416" (Core.Report.fmt_f ~decimals:4 3.14159);
+  Alcotest.(check string) "fmt_pct" "12.50%" (Core.Report.fmt_pct 0.125)
+
+let test_csv_table () =
+  let t =
+    Core.Report.table ~title:"t" ~columns:[ "a"; "b" ]
+      ~rows:[ [ "1"; "x,y" ]; [ "2"; "he said \"hi\"" ] ]
+  in
+  match Core.Report.to_csv t with
+  | None -> Alcotest.fail "table must have csv"
+  | Some csv ->
+    Alcotest.(check bool) "header" true (contains csv "a,b");
+    Alcotest.(check bool) "comma quoted" true (contains csv "\"x,y\"");
+    Alcotest.(check bool) "quote doubled" true (contains csv "\"he said \"\"hi\"\"\"")
+
+let test_csv_chart_and_note () =
+  let c =
+    Core.Report.chart ~title:"c" ~x_label:"x" ~y_label:"y"
+      [ { Core.Report.label = "s"; points = [ (1.5, 2.5) ] } ]
+  in
+  (match Core.Report.to_csv c with
+  | None -> Alcotest.fail "chart must have csv"
+  | Some csv -> Alcotest.(check bool) "row" true (contains csv "s,1.5,2.5"));
+  Alcotest.(check bool) "note has no csv" true
+    (Core.Report.to_csv (Core.Report.note "n") = None)
+
+let suite =
+  [
+    Alcotest.test_case "table cells" `Quick test_table_contains_cells;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "chart rendering" `Quick test_chart_rendering;
+    Alcotest.test_case "notes and format helpers" `Quick test_note_and_helpers;
+    Alcotest.test_case "csv table" `Quick test_csv_table;
+    Alcotest.test_case "csv chart and note" `Quick test_csv_chart_and_note;
+  ]

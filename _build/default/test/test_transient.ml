@@ -1,0 +1,159 @@
+(* Tests for the transient nodal simulator, and the cross-validation of
+   the closed-form timing models against simulated waveforms — the
+   strongest evidence that the "HSPICE substitute" stack is coherent. *)
+
+module Units = Nmcache_physics.Units
+module Tech = Nmcache_device.Tech
+module Transient = Nmcache_circuit.Transient
+module Sram_cell = Nmcache_circuit.Sram_cell
+module Netlist = Nmcache_circuit.Netlist
+module Rc = Nmcache_circuit.Rc
+
+let tech = Tech.bptm65
+
+let test_rc_step_response () =
+  (* one node: R from a 1V step source, C to ground.  v(t) = 1 - e^{-t/RC} *)
+  let r = 1e3 and c = 1e-12 in
+  let ckt = Transient.create ~nodes:1 in
+  Transient.add_capacitor ckt ~a:0 ~farads:c;
+  Transient.add_voltage_drive ckt ~a:0 ~volts:(fun _ -> 1.0) ~r_source:r;
+  let tau = r *. c in
+  let w = Transient.simulate ckt ~v0:[| 0.0 |] ~dt:(tau /. 200.0) ~steps:2000 in
+  (* sample at t = tau: expect 1 - 1/e *)
+  let v_tau = Transient.node_voltage w ~node:0 ~step:200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "v(tau) = %.4f ~ 0.632" v_tau)
+    true
+    (Float.abs (v_tau -. (1.0 -. Float.exp (-1.0))) < 0.01);
+  (* 50% crossing at t = RC ln 2 *)
+  match Transient.crossing_time w ~node:0 ~threshold:0.5 ~rising:true with
+  | None -> Alcotest.fail "never crossed"
+  | Some t ->
+    Alcotest.(check bool)
+      (Printf.sprintf "t50 = %.3g ~ %.3g" t (tau *. Float.log 2.0))
+      true
+      (Float.abs (t -. (tau *. Float.log 2.0)) /. (tau *. Float.log 2.0) < 0.02)
+
+let test_constant_current_discharge () =
+  (* capacitor discharged by a constant current: linear ramp *)
+  let c = 10e-15 and i = 50e-6 in
+  let ckt = Transient.create ~nodes:1 in
+  Transient.add_capacitor ckt ~a:0 ~farads:c;
+  Transient.add_current_source ckt ~a:0 ~amps:(fun _ -> -.i);
+  (* tiny leak to ground keeps the G matrix non-singular *)
+  Transient.add_resistor ckt ~a:0 ~b:None ~ohms:1e12;
+  let w = Transient.simulate ckt ~v0:[| 1.0 |] ~dt:1e-13 ~steps:2000 in
+  (* dV/dt = -I/C: the 0.9V crossing is at t = 0.1 C / I *)
+  (match Transient.crossing_time w ~node:0 ~threshold:0.9 ~rising:false with
+  | None -> Alcotest.fail "no discharge"
+  | Some t ->
+    let expected = 0.1 *. c /. i in
+    Alcotest.(check bool)
+      (Printf.sprintf "t = %.3g ~ %.3g" t expected)
+      true
+      (Float.abs (t -. expected) /. expected < 0.02))
+
+let test_two_stage_ladder_vs_elmore () =
+  (* R1-C1-R2-C2 ladder step response: the 50% crossing at the far node
+     should sit within ~30% of ln2 x Elmore delay *)
+  let r1 = 2e3 and c1 = 2e-15 and r2 = 3e3 and c2 = 4e-15 in
+  let ckt = Transient.create ~nodes:2 in
+  Transient.add_capacitor ckt ~a:0 ~farads:c1;
+  Transient.add_capacitor ckt ~a:1 ~farads:c2;
+  Transient.add_voltage_drive ckt ~a:0 ~volts:(fun _ -> 1.0) ~r_source:r1;
+  Transient.add_resistor ckt ~a:0 ~b:(Some 1) ~ohms:r2;
+  let elmore = (r1 *. (c1 +. c2)) +. (r2 *. c2) in
+  let w = Transient.simulate ckt ~v0:[| 0.0; 0.0 |] ~dt:(elmore /. 500.0) ~steps:5000 in
+  match Transient.crossing_time w ~node:1 ~threshold:0.5 ~rising:true with
+  | None -> Alcotest.fail "no rise"
+  | Some t ->
+    let expected = Float.log 2.0 *. elmore in
+    Alcotest.(check bool)
+      (Printf.sprintf "t50 %.3g vs ln2*Elmore %.3g" t expected)
+      true
+      (t > 0.6 *. expected && t < 1.4 *. expected)
+
+let test_bitline_closed_form_vs_transient () =
+  (* the cache model's bitline discharge estimate vs a transient
+     simulation of the distributed line with the cell's read current *)
+  let cell = Sram_cell.make tech ~vth:0.3 ~tox:(Units.angstrom 12.0) in
+  let rows = 64 in
+  let swing = 0.1 in
+  let closed = Netlist.bitline_discharge tech ~cell ~rows ~sense_swing:swing in
+  (* transient: 8 lumped segments of the bitline, cell current at the
+     far end *)
+  let segs = 8 in
+  let rows_per_seg = rows / segs in
+  let seg_c =
+    float_of_int rows_per_seg
+    *. ((tech.Tech.wire_c_per_m *. cell.Sram_cell.height)
+       +. Sram_cell.drain_load tech cell)
+  in
+  let seg_r =
+    float_of_int rows_per_seg *. tech.Tech.wire_r_per_m *. cell.Sram_cell.height
+  in
+  let ckt = Transient.create ~nodes:segs in
+  for s = 0 to segs - 1 do
+    Transient.add_capacitor ckt ~a:s ~farads:seg_c;
+    if s < segs - 1 then Transient.add_resistor ckt ~a:s ~b:(Some (s + 1)) ~ohms:seg_r
+  done;
+  Transient.add_resistor ckt ~a:0 ~b:None ~ohms:1e12;
+  let i_read = Sram_cell.read_current tech cell in
+  Transient.add_current_source ckt ~a:(segs - 1) ~amps:(fun _ -> -.i_read);
+  let vdd = tech.Tech.vdd in
+  let v0 = Array.make segs vdd in
+  let w = Transient.simulate ckt ~v0 ~dt:(closed /. 300.0) ~steps:3000 in
+  (* sense at the near end (node 0) *)
+  match
+    Transient.crossing_time w ~node:0 ~threshold:(vdd -. (swing *. vdd)) ~rising:false
+  with
+  | None -> Alcotest.fail "bitline never developed the swing"
+  | Some t ->
+    Alcotest.(check bool)
+      (Printf.sprintf "transient %.3g vs closed form %.3g" t closed)
+      true
+      (t > 0.4 *. closed && t < 2.5 *. closed)
+
+let test_validation () =
+  let ckt = Transient.create ~nodes:1 in
+  Alcotest.(check bool) "bad resistor" true
+    (try
+       Transient.add_resistor ckt ~a:0 ~b:None ~ohms:0.0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad node" true
+    (try
+       Transient.add_capacitor ckt ~a:3 ~farads:1e-15;
+       false
+     with Invalid_argument _ -> true);
+  Transient.add_capacitor ckt ~a:0 ~farads:1e-15;
+  Alcotest.(check bool) "bad dt" true
+    (try
+       ignore (Transient.simulate ckt ~v0:[| 0.0 |] ~dt:0.0 ~steps:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_energy_conservation_flavour () =
+  (* a floating RC with no sources must decay monotonically to zero *)
+  let ckt = Transient.create ~nodes:1 in
+  Transient.add_capacitor ckt ~a:0 ~farads:1e-12;
+  Transient.add_resistor ckt ~a:0 ~b:None ~ohms:1e3;
+  let w = Transient.simulate ckt ~v0:[| 1.0 |] ~dt:1e-11 ~steps:1000 in
+  let last = Transient.node_voltage w ~node:0 ~step:1000 in
+  Alcotest.(check bool) "decays" true (last < 0.01 && last >= -0.01);
+  for s = 1 to 1000 do
+    Alcotest.(check bool) "monotone decay" true
+      (Transient.node_voltage w ~node:0 ~step:s
+      <= Transient.node_voltage w ~node:0 ~step:(s - 1) +. 1e-12)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "RC step response" `Quick test_rc_step_response;
+    Alcotest.test_case "constant-current discharge" `Quick test_constant_current_discharge;
+    Alcotest.test_case "ladder vs Elmore" `Quick test_two_stage_ladder_vs_elmore;
+    Alcotest.test_case "bitline closed form vs transient" `Quick
+      test_bitline_closed_form_vs_transient;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "source-free decay" `Quick test_energy_conservation_flavour;
+  ]
