@@ -22,19 +22,27 @@ module Access = Nmcache_workload.Access
 (* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
 
-let reproduce ctx =
-  print_endline "==================================================================";
-  print_endline " Phase 1: paper reproduction (every table and figure)";
-  print_endline "==================================================================";
+let reproduce ctx ~jobs =
+  Printf.printf
+    "==================================================================\n\
+    \ Phase 1: paper reproduction (every table and figure, %d job%s)\n\
+     ==================================================================\n"
+    jobs
+    (if jobs = 1 then "" else "s");
+  let t0 = Unix.gettimeofday () in
+  (* kernels evaluate through the engine; artefacts print in registry
+     order afterwards, so the output bytes never depend on jobs *)
+  let results = Core.Experiments.run_many ctx Core.Experiments.all in
+  let wall = Unix.gettimeofday () -. t0 in
   List.iter
-    (fun (e : Core.Experiments.t) ->
-      let t0 = Unix.gettimeofday () in
+    (fun ((e : Core.Experiments.t), artefacts) ->
       Printf.printf "\n### %s — %s (%s)\n\n" e.Core.Experiments.id
         e.Core.Experiments.title e.Core.Experiments.paper_ref;
-      Core.Report.print (e.Core.Experiments.run ctx);
-      Printf.printf "[%s completed in %.1f s]\n" e.Core.Experiments.id
-        (Unix.gettimeofday () -. t0))
-    Core.Experiments.all
+      Core.Report.print artefacts)
+    results;
+  Printf.printf "\n[phase 1: %d experiments in %.1f s wall]\n\n"
+    (List.length results) wall;
+  print_string (Nmcache_engine.Trace.summary ())
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2: Bechamel micro-benchmarks                                   *)
@@ -121,8 +129,27 @@ let microbenchmarks ctx =
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let jobs =
+    (* --jobs N (default: one domain per core; --jobs 1 recovers the
+       sequential path for timing comparisons) *)
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then Nmcache_engine.Executor.default_jobs ()
+      else if Sys.argv.(i) = "--jobs" then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> n
+        | _ ->
+          prerr_endline "bench: --jobs expects a positive integer";
+          exit 2
+      else find (i + 1)
+    in
+    find 1
+  in
+  Nmcache_engine.Executor.set_jobs jobs;
   let ctx = if quick then Core.Context.quick () else Core.Context.default () in
   let t0 = Unix.gettimeofday () in
-  reproduce ctx;
+  reproduce ctx ~jobs;
+  (* microbenchmarks measure single-kernel latency: keep them off the
+     domain pool so bechamel's samples stay stable *)
+  Nmcache_engine.Executor.set_jobs 1;
   microbenchmarks ctx;
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

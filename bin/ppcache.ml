@@ -19,11 +19,34 @@ let quick_arg =
   let doc = "Use the reduced context (shorter traces, coarser grids)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate independent kernels on $(docv) domains.  Output is \
+     byte-identical to --jobs 1; 0 means one domain per core."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Print the engine trace summary (per-stage wall time, task counts, memo hit rates) after the run." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let context quick = if quick then Core.Context.quick () else Core.Context.default ()
+
+let set_jobs jobs =
+  let jobs =
+    if jobs = 0 then Nmcache_engine.Executor.default_jobs ()
+    else if jobs < 0 then begin
+      Printf.eprintf "ppcache: --jobs must be >= 0\n";
+      exit 2
+    end
+    else jobs
+  in
+  Nmcache_engine.Executor.set_jobs jobs
 
 (* --- run ------------------------------------------------------------ *)
 
-let run_experiment ids quick csv =
+let run_experiment ids quick csv jobs trace =
+  set_jobs jobs;
   let ctx = context quick in
   let targets =
     match ids with
@@ -38,16 +61,18 @@ let run_experiment ids quick csv =
             exit 2)
         ids
   in
+  (* kernels run (possibly in parallel) first; artefacts print in
+     registry order afterwards, so the bytes never depend on --jobs *)
   List.iter
-    (fun (e : Core.Experiments.t) ->
-      let artefacts = e.Core.Experiments.run ctx in
+    (fun ((e : Core.Experiments.t), artefacts) ->
       if csv then print_string (Core.Report.render_csv artefacts)
       else begin
         Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id
           e.Core.Experiments.title e.Core.Experiments.paper_ref;
         Core.Report.print artefacts
       end)
-    targets
+    (Core.Experiments.run_many ctx targets);
+  if trace then print_string (Nmcache_engine.Trace.summary ())
 
 let run_cmd =
   let ids =
@@ -57,7 +82,8 @@ let run_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of formatted tables.")
   in
   let doc = "Run one or more experiments and print their tables/series." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiment $ ids $ quick_arg $ csv)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ trace_arg)
 
 (* --- list ------------------------------------------------------------ *)
 

@@ -63,22 +63,21 @@ let l2_config t ?size () =
     ~assoc:t.l2_assoc ~block_bytes:t.block_bytes ~output_bits:t.l2_output_bits ()
 
 (* memoised characterisations; keyed on technology name + temperature +
-   supply + config description (the fields that change fits) *)
-let memo : (string, Fitted_cache.t) Hashtbl.t = Hashtbl.create 16
+   supply + config description (the fields that change fits) — the
+   engine memo is domain-safe, so parallel sweeps share one cache *)
+let memo : Fitted_cache.t Nmcache_engine.Memo.t =
+  Nmcache_engine.Memo.create ~name:"context.fitted-models" ()
 
-let clear_memo () = Hashtbl.reset memo
+let clear_memo () = Nmcache_engine.Memo.clear memo
 
 let fitted t config =
   let key =
     Printf.sprintf "%s:%.1fK:%.2fV:%s:out%d" t.tech.Tech.name t.tech.Tech.temp_k
       t.tech.Tech.vdd (Config.describe config) config.Config.output_bits
   in
-  match Hashtbl.find_opt memo key with
-  | Some f -> f
-  | None ->
-    let f = Fitted_cache.characterize_and_fit (Cache_model.make t.tech config) in
-    Hashtbl.replace memo key f;
-    f
+  Nmcache_engine.Memo.find_or_compute memo key (fun () ->
+      Nmcache_engine.Trace.with_stage "context.characterize+fit" (fun () ->
+          Fitted_cache.characterize_and_fit (Cache_model.make t.tech config)))
 
 let l1_sizes = [| kb 4; kb 8; kb 16; kb 32; kb 64 |]
 let l2_sizes = [| kb 256; kb 512; mb 1; mb 2; mb 4; mb 8 |]

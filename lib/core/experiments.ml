@@ -124,3 +124,8 @@ let extensions =
 let all = paper @ extensions
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids = List.map (fun e -> e.id) all
+
+let run_many ctx exps =
+  Nmcache_engine.Sweep.map_list
+    (Nmcache_engine.Task.make ~name:"experiments.run" (fun e -> (e, e.run ctx)))
+    exps

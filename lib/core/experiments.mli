@@ -19,3 +19,9 @@ val paper : t list
 val find : string -> t option
 
 val ids : string list
+
+val run_many : Context.t -> t list -> (t * Report.artefact list) list
+(** Evaluate every experiment kernel through the engine (parallel when
+    {!Nmcache_engine.Executor} has [jobs > 1], sequential otherwise)
+    and return artefacts in registry order — experiments are data, so a
+    parallel run renders byte-identically to a sequential one. *)

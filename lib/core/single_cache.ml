@@ -3,6 +3,8 @@ module Component = Nmcache_geometry.Component
 module Fitted_cache = Nmcache_fit.Fitted_cache
 module Scheme = Nmcache_opt.Scheme
 module Grid = Nmcache_opt.Grid
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
 
 let fitted_l1 ctx = Context.fitted ctx (Context.l1_config ctx ())
 
@@ -80,17 +82,19 @@ let scheme_rows ctx ?budgets () =
   let budgets =
     match budgets with Some b -> b | None -> default_budgets fitted ~grid
   in
+  (* every (budget, scheme) search is independent; fan budgets out and
+     keep rows in budget order *)
   Array.to_list
-    (Array.map
-       (fun budget ->
-         {
-           budget;
-           results =
-             List.map
-               (fun scheme ->
-                 (scheme, Scheme.minimize_leakage fitted ~grid ~scheme ~delay_budget:budget))
-               Scheme.all;
-         })
+    (Sweep.map_array
+       (Task.make ~name:"single_cache.scheme-row" (fun budget ->
+            {
+              budget;
+              results =
+                List.map
+                  (fun scheme ->
+                    (scheme, Scheme.minimize_leakage fitted ~grid ~scheme ~delay_budget:budget))
+                  Scheme.all;
+            }))
        budgets)
 
 let array_is_conservative (a : Component.assignment) =

@@ -5,6 +5,8 @@ module Scheme = Nmcache_opt.Scheme
 module Amat = Nmcache_energy.Amat
 module Main_memory = Nmcache_energy.Main_memory
 module Missrate = Nmcache_workload.Missrate
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
 
 let reference_estimate ctx config =
   let fitted = Context.fitted ctx config in
@@ -16,10 +18,16 @@ let miss_curve ctx ~l1_size =
     ~l1_size ~l2_sizes:Context.l2_sizes ~n:ctx.Context.n_sim ()
 
 let m2_of_curve (curve : Missrate.l2_curve) size =
+  let sizes = curve.Missrate.l2_sizes in
   let rec find i =
-    if i >= Array.length curve.Missrate.l2_sizes then
-      invalid_arg "Two_level: size not in curve"
-    else if curve.Missrate.l2_sizes.(i) = size then curve.Missrate.l2_local_rates.(i)
+    if i >= Array.length sizes then
+      invalid_arg
+        (Printf.sprintf
+           "Two_level.m2_of_curve: L2 size %d B was not simulated for %S (available: %s) \
+            — align the sweep sizes with the curve's l2_sizes"
+           size curve.Missrate.workload
+           (String.concat ", " (Array.to_list (Array.map string_of_int sizes))))
+    else if sizes.(i) = size then curve.Missrate.l2_local_rates.(i)
     else find (i + 1)
   in
   find 0
@@ -58,30 +66,32 @@ let l2_sweep ctx ~scheme ?(amat_slack = 1.08) () =
     amat_slack
     *. Amat.two_level ~t_l1 ~t_l2:l2_ref.Fitted_cache.access_time ~t_mem ~m1 ~m2:m2_ref
   in
+  (* each size is an independent characterise+optimise kernel; the
+     engine fans them out and keeps rows in size order *)
   let rows =
     Array.to_list
-      (Array.map
-         (fun l2_size ->
-           let m2 = m2_of_curve curve l2_size in
-           let budget = Amat.required_t_l2 ~amat:target_amat ~t_l1 ~t_mem ~m1 ~m2 in
-           match budget with
-           | None ->
-             { l2_size; m2; t_l2_budget = None; result = None; l2_leak = None; total_leak = None }
-           | Some t_budget ->
-             let fitted = Context.fitted ctx (Context.l2_config ctx ~size:l2_size ()) in
-             let result =
-               Scheme.minimize_leakage fitted ~grid:ctx.Context.grid ~scheme
-                 ~delay_budget:t_budget
-             in
-             let l2_leak = Option.map (fun (r : Scheme.result) -> r.Scheme.leak_w) result in
-             {
-               l2_size;
-               m2;
-               t_l2_budget = Some t_budget;
-               result;
-               l2_leak;
-               total_leak = Option.map (fun l -> l +. l1_leak) l2_leak;
-             })
+      (Sweep.map_array
+         (Task.make ~name:"two_level.l2-row" (fun l2_size ->
+              let m2 = m2_of_curve curve l2_size in
+              let budget = Amat.required_t_l2 ~amat:target_amat ~t_l1 ~t_mem ~m1 ~m2 in
+              match budget with
+              | None ->
+                { l2_size; m2; t_l2_budget = None; result = None; l2_leak = None; total_leak = None }
+              | Some t_budget ->
+                let fitted = Context.fitted ctx (Context.l2_config ctx ~size:l2_size ()) in
+                let result =
+                  Scheme.minimize_leakage fitted ~grid:ctx.Context.grid ~scheme
+                    ~delay_budget:t_budget
+                in
+                let l2_leak = Option.map (fun (r : Scheme.result) -> r.Scheme.leak_w) result in
+                {
+                  l2_size;
+                  m2;
+                  t_l2_budget = Some t_budget;
+                  result;
+                  l2_leak;
+                  total_leak = Option.map (fun l -> l +. l1_leak) l2_leak;
+                }))
          Context.l2_sizes)
   in
   { target_amat; m1; t_l1; l1_leak; rows }
@@ -252,8 +262,8 @@ let l1_sweep_rows ctx ?(amat_slack = 1.05) () =
   in
   let rows =
     Array.to_list
-      (Array.map
-         (fun l1_size ->
+      (Sweep.map_array
+         (Task.make ~name:"two_level.l1-row" (fun l1_size ->
            let curve = miss_curve ctx ~l1_size in
            let m1 = curve.Missrate.l1_miss_rate in
            let m2 = m2_of_curve curve ctx.Context.l2_size in
@@ -283,7 +293,7 @@ let l1_sweep_rows ctx ?(amat_slack = 1.05) () =
                l1_leak;
                l1_total_leak = Option.map (fun l -> l +. l2_leak) l1_leak;
              }
-           end)
+           end))
          Context.l1_sizes)
   in
   { l1_target_amat = target; l1_rows = rows }

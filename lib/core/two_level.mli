@@ -29,6 +29,12 @@ type l2_sweep = {
   rows : l2_row list;
 }
 
+val m2_of_curve : Nmcache_workload.Missrate.l2_curve -> int -> float
+(** Local L2 miss rate at an exact simulated size.  Raises
+    [Invalid_argument] naming the requested size, the workload and the
+    simulated sizes when [size] is not one of the curve's [l2_sizes],
+    so a misaligned sweep is diagnosable from the message alone. *)
+
 val l2_sweep :
   Context.t -> scheme:Nmcache_opt.Scheme.t -> ?amat_slack:float -> unit -> l2_sweep
 (** [amat_slack] scales the baseline AMAT target (default 1.08 — the

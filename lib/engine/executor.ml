@@ -1,0 +1,14 @@
+let jobs = Atomic.make 1
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Executor.set_jobs: jobs must be >= 1";
+  Atomic.set jobs n
+
+let get_jobs () = Atomic.get jobs
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let pool () = Pool.create ~jobs:(Atomic.get jobs)
+
+let with_jobs n f =
+  let prev = Atomic.get jobs in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> Atomic.set jobs prev) f

@@ -1,0 +1,49 @@
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let sequential = { jobs = 1 }
+let jobs t = t.jobs
+
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if t.jobs <= 1 || n <= 1 || in_worker () then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    (* each domain pulls the next unclaimed index; distinct indices mean
+       distinct result slots, and Domain.join publishes the writes *)
+    let body () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (try results.(i) <- Some (f arr.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set error None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let worker () =
+      Domain.DLS.set in_worker_key true;
+      body ()
+    in
+    let spawned = List.init (min t.jobs n - 1) (fun _ -> Domain.spawn worker) in
+    (* the caller participates, flagged as a worker so nested fan-outs
+       run sequentially instead of oversubscribing *)
+    Domain.DLS.set in_worker_key true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key false) body;
+    List.iter Domain.join spawned;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,37 @@
+(** A hand-rolled domain pool for coarse-grained fan-out.
+
+    The pool fans an array of independent evaluations across OCaml 5
+    domains.  Results are written to per-index slots, so the output
+    order is always the input order and a parallel run is
+    byte-identical to the sequential one for pure kernels.
+
+    Kernels here are coarse (characterise-and-fit a cache, simulate a
+    2 M-access trace, run a whole DP), so domains are spawned per
+    fan-out: the spawn cost is microseconds against kernels that run
+    for milliseconds to seconds, and per-call domains cannot leak or
+    deadlock across calls.
+
+    Nested fan-outs degrade to sequential evaluation on the calling
+    domain — a worker that itself calls {!map_array} runs the inner
+    sweep in place rather than oversubscribing the machine. *)
+
+type t
+
+val create : jobs:int -> t
+(** [jobs] is the maximum number of domains (including the caller) a
+    fan-out may use.  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val sequential : t
+(** A pool with [jobs = 1]: [map_array] is exactly [Array.map]. *)
+
+val jobs : t -> int
+
+val in_worker : unit -> bool
+(** [true] inside a kernel running under {!map_array} — used by nested
+    sweeps to fall back to sequential evaluation. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic output order.  The calling
+    domain participates in the work.  If any kernel raises, the first
+    exception (in completion order) is re-raised after all domains
+    join. *)

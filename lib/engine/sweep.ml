@@ -1,0 +1,24 @@
+let map_array ?pool task arr =
+  let pool = match pool with Some p -> p | None -> Executor.pool () in
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let times = Array.make n 0.0 in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Pool.map_array pool
+        (fun i ->
+          let s = Unix.gettimeofday () in
+          let r = Task.kernel task arr.(i) in
+          times.(i) <- Unix.gettimeofday () -. s;
+          r)
+        (Array.init n Fun.id)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Trace.record ~stage:(Task.name task) ~tasks:n
+      ~busy_s:(Array.fold_left ( +. ) 0.0 times)
+      ~wall_s:wall;
+    results
+  end
+
+let map_list ?pool task l = Array.to_list (map_array ?pool task (Array.of_list l))

@@ -1,0 +1,12 @@
+(** Parallel, deterministic sweeps: evaluate one {!Task} over every
+    element of a collection.
+
+    Output order always equals input order, so for pure kernels the
+    result — and anything rendered from it — is byte-identical
+    whatever the [jobs] setting.  Each sweep records a {!Trace} stage
+    sample (task count, busy time, wall time). *)
+
+val map_array : ?pool:Pool.t -> ('a, 'b) Task.t -> 'a array -> 'b array
+(** Defaults to a pool of {!Executor.get_jobs} width. *)
+
+val map_list : ?pool:Pool.t -> ('a, 'b) Task.t -> 'a list -> 'b list

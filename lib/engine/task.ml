@@ -1,0 +1,9 @@
+type ('a, 'b) t = {
+  name : string;
+  f : 'a -> 'b;
+}
+
+let make ~name f = { name; f }
+let name t = t.name
+let kernel t = t.f
+let run t x = Trace.with_stage t.name (fun () -> t.f x)

@@ -1,0 +1,19 @@
+(** A named pure kernel: the unit of work the engine schedules.
+
+    Separating the kernel (input -> output, no printing, no shared
+    mutable state beyond {!Memo} caches) from reporting is what lets
+    {!Sweep} fan evaluations across domains while keeping artefact
+    output byte-identical to a sequential run. *)
+
+type ('a, 'b) t
+
+val make : name:string -> ('a -> 'b) -> ('a, 'b) t
+(** [name] labels the stage in {!Trace} summaries. *)
+
+val name : ('a, 'b) t -> string
+
+val kernel : ('a, 'b) t -> 'a -> 'b
+(** The raw kernel, untraced. *)
+
+val run : ('a, 'b) t -> 'a -> 'b
+(** One traced evaluation (a single-task stage sample). *)

@@ -9,7 +9,17 @@ type t = {
 
 let steps_between ~lo ~hi ~step =
   if step <= 0.0 then invalid_arg "Grid: non-positive step";
-  let n = int_of_float (Float.round ((hi -. lo) /. step)) in
+  if hi < lo then invalid_arg "Grid: hi below lo";
+  let raw = (hi -. lo) /. step in
+  let rounded = Float.round raw in
+  let tol = 1e-9 *. Float.max 1.0 (Float.abs raw) in
+  (* [hi] on the grid up to float drift -> trust the rounded count;
+     otherwise stop at the last step that does not overshoot [hi] *)
+  let n =
+    if Float.abs (raw -. rounded) <= tol then int_of_float rounded
+    else int_of_float (Float.floor (raw +. tol))
+  in
+  let n = max 0 n in
   Array.init (n + 1) (fun i -> lo +. (float_of_int i *. step))
 
 let make ?(vth_step = 0.025) ?(tox_step_angstrom = 0.5) (tech : Tech.t) =

@@ -9,6 +9,12 @@ type t = {
   toxs : float array;  (** ascending [m] *)
 }
 
+val steps_between : lo:float -> hi:float -> step:float -> float array
+(** [lo, lo+step, …] up to [hi].  When [hi] lands on the grid up to
+    float-rounding drift the endpoint count is trusted; otherwise the
+    array stops at the last step that does not overshoot [hi].  Raises
+    [Invalid_argument] on a non-positive step or [hi < lo]. *)
+
 val make : ?vth_step:float -> ?tox_step_angstrom:float -> Nmcache_device.Tech.t -> t
 (** Defaults: 25 mV Vth step, 0.5 Å Tox step — 13 × 9 = 117 points for
     the bptm65 ranges.  Raises [Invalid_argument] on non-positive

@@ -1,5 +1,7 @@
 module Component = Nmcache_geometry.Component
 module Fitted_cache = Nmcache_fit.Fitted_cache
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
 
 type t = Independent | Split | Uniform
 
@@ -32,17 +34,23 @@ type tables = {
   delay : float array array;
 }
 
+(* one task per knob: evaluate every component's fitted leak and delay
+   there; columns land in knob order, so the tables are identical to a
+   sequential build *)
+let table_task fitted =
+  Task.make ~name:"scheme.tables" (fun knob ->
+      let eval f = Array.of_list (List.map (fun kind -> f kind knob) Component.all_kinds) in
+      (eval (Fitted_cache.leak_of fitted), eval (Fitted_cache.delay_of fitted)))
+
 let build_tables fitted ~grid =
   let knobs = Grid.knobs grid in
-  let per kind f = Array.map (fun k -> f kind k) knobs in
+  let columns = Sweep.map_array (table_task fitted) knobs in
+  let n_kinds = List.length Component.all_kinds in
+  let per pick c = Array.init (Array.length knobs) (fun i -> (pick columns.(i)).(c)) in
   {
     knobs;
-    leak =
-      Array.of_list
-        (List.map (fun kind -> per kind (Fitted_cache.leak_of fitted)) Component.all_kinds);
-    delay =
-      Array.of_list
-        (List.map (fun kind -> per kind (Fitted_cache.delay_of fitted)) Component.all_kinds);
+    leak = Array.init n_kinds (per fst);
+    delay = Array.init n_kinds (per snd);
   }
 
 let n_components = List.length Component.all_kinds
@@ -80,23 +88,38 @@ let minimize_uniform tables ~delay_budget =
   done;
   Option.map (fun (idx, _) -> result_of Uniform tables idx) !best
 
-(* Scheme II: index i for the array, j for the three peripherals. *)
+(* Scheme II: index i for the array, j for the three peripherals.  The
+   outer (array-knob) loop fans out across domains; each task scans its
+   peripheral column and the per-i bests are reduced in index order, so
+   ties resolve to the same (i, j) the sequential double loop picks. *)
 let minimize_split tables ~delay_budget =
   let n = Array.length tables.knobs in
   let array_c = Component.kind_index Component.Array_sense in
-  let best = ref None in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let idx = Array.make n_components j in
-      idx.(array_c) <- i;
-      let leak, delay = totals tables idx in
-      if delay <= delay_budget then
-        match !best with
-        | Some (_, l) when l <= leak -> ()
-        | _ -> best := Some (idx, leak)
-    done
-  done;
-  Option.map (fun (idx, _) -> result_of Split tables idx) !best
+  let row_task =
+    Task.make ~name:"scheme.split" (fun i ->
+        let best = ref None in
+        for j = 0 to n - 1 do
+          let idx = Array.make n_components j in
+          idx.(array_c) <- i;
+          let leak, delay = totals tables idx in
+          if delay <= delay_budget then
+            match !best with
+            | Some (_, l) when l <= leak -> ()
+            | _ -> best := Some (idx, leak)
+        done;
+        !best)
+  in
+  let row_bests = Sweep.map_array row_task (Array.init n Fun.id) in
+  let best =
+    Array.fold_left
+      (fun acc cand ->
+        match (acc, cand) with
+        | Some (_, l), Some (_, leak) when l <= leak -> acc
+        | _, Some _ -> cand
+        | _, None -> acc)
+      None row_bests
+  in
+  Option.map (fun (idx, _) -> result_of Split tables idx) best
 
 (* Scheme I: exact DP over discretised delay.  Component delays are
    rounded UP to a bin, so any DP-feasible solution is truly feasible;
@@ -106,6 +129,7 @@ let minimize_split tables ~delay_budget =
 let dp_bins = 20000
 
 let minimize_independent tables ~delay_budget =
+  Nmcache_engine.Trace.with_stage "scheme.dp" @@ fun () ->
   let n = Array.length tables.knobs in
   let unit = delay_budget /. float_of_int dp_bins in
   let bin_of d = int_of_float (Float.ceil (d /. unit)) in

@@ -3,6 +3,9 @@ module Hierarchy = Nmcache_cachesim.Hierarchy
 module Mattson = Nmcache_cachesim.Mattson
 module Replacement = Nmcache_cachesim.Replacement
 module Stats = Nmcache_cachesim.Stats
+module Memo = Nmcache_engine.Memo
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
 
 type point = {
   l1_miss : float;
@@ -10,15 +13,16 @@ type point = {
   l2_global : float;
 }
 
-(* process-wide memo tables; keys stringified for simplicity *)
-let point_cache : (string, point) Hashtbl.t = Hashtbl.create 64
-let curve_cache : (string, float * float array) Hashtbl.t = Hashtbl.create 64
-let l1_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+(* process-wide, domain-safe memo tables; keys stringified for
+   simplicity (they name every input the simulation depends on) *)
+let point_cache : point Memo.t = Memo.create ~name:"missrate.points" ()
+let curve_cache : (float * float array) Memo.t = Memo.create ~name:"missrate.curves" ()
+let l1_cache : float Memo.t = Memo.create ~name:"missrate.l1" ()
 
 let clear_cache () =
-  Hashtbl.reset point_cache;
-  Hashtbl.reset curve_cache;
-  Hashtbl.reset l1_cache
+  Memo.clear point_cache;
+  Memo.clear curve_cache;
+  Memo.clear l1_cache
 
 let policy_key = function
   | Replacement.Lru -> "lru"
@@ -36,29 +40,23 @@ let simulate ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64) ?(policy = Replacemen
     Printf.sprintf "sim:%s:%d:%d:%d:%d:%d:%s:%Ld:%d" workload l1_size l2_size l1_assoc
       l2_assoc block (policy_key policy) seed n
   in
-  match Hashtbl.find_opt point_cache key with
-  | Some p -> p
-  | None ->
-    let gen = Registry.build ~seed workload in
-    let l1 = Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy () in
-    let l2 = Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy () in
-    let h = Hierarchy.create ~l1 ~l2 in
-    let warm = int_of_float (warmup_fraction *. float_of_int n) in
-    Gen.iter gen warm (fun a ->
-        ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
-    Cache.reset_stats l1;
-    Cache.reset_stats l2;
-    Gen.iter gen (n - warm) (fun a ->
-        ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
-    let p =
+  Memo.find_or_compute point_cache key (fun () ->
+      let gen = Registry.build ~seed workload in
+      let l1 = Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy () in
+      let l2 = Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy () in
+      let h = Hierarchy.create ~l1 ~l2 in
+      let warm = int_of_float (warmup_fraction *. float_of_int n) in
+      Gen.iter gen warm (fun a ->
+          ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
+      Cache.reset_stats l1;
+      Cache.reset_stats l2;
+      Gen.iter gen (n - warm) (fun a ->
+          ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
       {
         l1_miss = Hierarchy.l1_miss_rate h;
         l2_local = Hierarchy.l2_local_miss_rate h;
         l2_global = Hierarchy.l2_global_miss_rate h;
-      }
-    in
-    Hashtbl.replace point_cache key p;
-    p
+      })
 
 type l2_curve = {
   workload : string;
@@ -75,30 +73,27 @@ let raw_curve ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~wor
     Printf.sprintf "curve:%s:%d:%d:%d:%Ld:%d:%s" workload l1_size l1_assoc block seed n
       sizes_key
   in
-  match Hashtbl.find_opt curve_cache key with
-  | Some (l1m, rates) -> (l1m, rates)
-  | None ->
-    let gen = Registry.build ~seed workload in
-    let l1 =
-      Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
-        ~policy:Replacement.Lru ()
-    in
-    let profiler = Mattson.create ~block_bytes:block () in
-    let feed a =
-      let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
-      if not o.Cache.hit then Mattson.access profiler a.Access.addr
-    in
-    let warm = int_of_float (warmup_fraction *. float_of_int n) in
-    Mattson.set_measuring profiler false;
-    Gen.iter gen warm feed;
-    Cache.reset_stats l1;
-    Mattson.set_measuring profiler true;
-    Gen.iter gen (n - warm) feed;
-    let l1m = Stats.miss_rate (Cache.stats l1) in
-    let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
-    let rates = Mattson.miss_ratio_curve profiler ~capacities:caps in
-    Hashtbl.replace curve_cache key (l1m, rates);
-    (l1m, rates)
+  Memo.find_or_compute curve_cache key (fun () ->
+      let gen = Registry.build ~seed workload in
+      let l1 =
+        Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
+          ~policy:Replacement.Lru ()
+      in
+      let profiler = Mattson.create ~block_bytes:block () in
+      let feed a =
+        let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
+        if not o.Cache.hit then Mattson.access profiler a.Access.addr
+      in
+      let warm = int_of_float (warmup_fraction *. float_of_int n) in
+      Mattson.set_measuring profiler false;
+      Gen.iter gen warm feed;
+      Cache.reset_stats l1;
+      Mattson.set_measuring profiler true;
+      Gen.iter gen (n - warm) feed;
+      let l1m = Stats.miss_rate (Cache.stats l1) in
+      let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
+      let rates = Mattson.miss_ratio_curve profiler ~capacities:caps in
+      (l1m, rates))
 
 let l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n () =
   let l1_miss_rate, l2_local_rates =
@@ -108,9 +103,12 @@ let l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n () =
 
 let averaged_l2_curve ?l1_assoc ?block ?seed ~workloads ~l1_size ~l2_sizes ~n () =
   if workloads = [] then invalid_arg "Missrate.averaged_l2_curve: no workloads";
+  (* one independent simulation per workload — the engine fans them out
+     and returns curves in workload order *)
   let curves =
-    List.map
-      (fun workload -> l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n ())
+    Sweep.map_list
+      (Task.make ~name:"missrate.l2-curve" (fun workload ->
+           l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n ()))
       workloads
   in
   let k = float_of_int (List.length curves) in
@@ -129,26 +127,22 @@ let averaged_l2_curve ?l1_assoc ?block ?seed ~workloads ~l1_size ~l2_sizes ~n ()
 
 let l1_sweep ?(l1_assoc = 4) ?(block = 64) ?(policy = Replacement.Lru)
     ?(seed = Registry.default_seed) ~workload ~l1_sizes ~n () =
-  Array.map
-    (fun l1_size ->
-      let key =
-        Printf.sprintf "l1:%s:%d:%d:%d:%s:%Ld:%d" workload l1_size l1_assoc block
-          (policy_key policy) seed n
-      in
-      match Hashtbl.find_opt l1_cache key with
-      | Some m -> m
-      | None ->
-        let gen = Registry.build ~seed workload in
-        let l1 =
-          Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy ()
-        in
-        let warm = int_of_float (warmup_fraction *. float_of_int n) in
-        Gen.iter gen warm (fun a ->
-            ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
-        Cache.reset_stats l1;
-        Gen.iter gen (n - warm) (fun a ->
-            ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
-        let m = Stats.miss_rate (Cache.stats l1) in
-        Hashtbl.replace l1_cache key m;
-        m)
+  Sweep.map_array
+    (Task.make ~name:"missrate.l1-sweep" (fun l1_size ->
+         let key =
+           Printf.sprintf "l1:%s:%d:%d:%d:%s:%Ld:%d" workload l1_size l1_assoc block
+             (policy_key policy) seed n
+         in
+         Memo.find_or_compute l1_cache key (fun () ->
+             let gen = Registry.build ~seed workload in
+             let l1 =
+               Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy ()
+             in
+             let warm = int_of_float (warmup_fraction *. float_of_int n) in
+             Gen.iter gen warm (fun a ->
+                 ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
+             Cache.reset_stats l1;
+             Gen.iter gen (n - warm) (fun a ->
+                 ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
+             Stats.miss_rate (Cache.stats l1))))
     l1_sizes

@@ -1,0 +1,187 @@
+(* Tests for the execution engine: domain-pool determinism, memo-cache
+   behaviour, trace accounting, and end-to-end parallel-vs-sequential
+   byte identity for the paper pipelines. *)
+
+module Engine = Nmcache_engine
+module Pool = Nmcache_engine.Pool
+module Memo = Nmcache_engine.Memo
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
+module Trace = Nmcache_engine.Trace
+module Executor = Nmcache_engine.Executor
+
+(* --- pool --------------------------------------------------------------- *)
+
+let test_pool_matches_sequential () =
+  let input = Array.init 200 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let seq = Array.map f input in
+  List.iter
+    (fun jobs ->
+      let par = Pool.map_array (Pool.create ~jobs) f input in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d equals sequential" jobs)
+        seq par)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_ordering_under_uneven_work () =
+  (* skew the work so late indices finish first if scheduling leaked
+     into the result order *)
+  let input = Array.init 64 (fun i -> i) in
+  let f i =
+    let spin = if i < 4 then 200_000 else 10 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := (!acc + k) mod 9973
+    done;
+    (i, !acc)
+  in
+  let seq = Pool.map_array Pool.sequential f input in
+  let par = Pool.map_array (Pool.create ~jobs:4) f input in
+  Alcotest.(check (array (pair int int))) "order is input order" seq par
+
+let test_pool_exception_propagates () =
+  let input = Array.init 32 (fun i -> i) in
+  Alcotest.check_raises "kernel failure re-raised" (Failure "kernel 13") (fun () ->
+      ignore
+        (Pool.map_array (Pool.create ~jobs:4)
+           (fun i -> if i = 13 then failwith "kernel 13" else i)
+           input))
+
+let test_pool_nested_degrades () =
+  let inner () =
+    Pool.map_array (Pool.create ~jobs:4) (fun i -> i + 1) (Array.init 8 Fun.id)
+  in
+  let outer =
+    Pool.map_array (Pool.create ~jobs:2)
+      (fun _ -> Array.fold_left ( + ) 0 (inner ()))
+      (Array.init 4 Fun.id)
+  in
+  Alcotest.(check (array int)) "nested sweeps still correct" (Array.make 4 36) outer
+
+let test_pool_validation () =
+  Alcotest.(check bool) "jobs=0 rejected" true
+    (try
+       ignore (Pool.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- memo --------------------------------------------------------------- *)
+
+let test_memo_hits () =
+  Trace.reset ();
+  let memo : int Memo.t = Memo.create ~name:"test.memo" () in
+  let computed = ref 0 in
+  let get k =
+    Memo.find_or_compute memo k (fun () ->
+        incr computed;
+        String.length k)
+  in
+  Alcotest.(check int) "first compute" 3 (get "abc");
+  Alcotest.(check int) "second is a hit" 3 (get "abc");
+  Alcotest.(check int) "distinct key computes" 2 (get "xy");
+  Alcotest.(check int) "computed twice" 2 !computed;
+  Alcotest.(check (pair int int)) "hit/miss counters" (1, 2) (Memo.stats memo);
+  Alcotest.(check int) "two entries" 2 (Memo.length memo);
+  Memo.clear memo;
+  Alcotest.(check int) "cleared" 0 (Memo.length memo)
+
+let test_memo_parallel_shared () =
+  let memo : int Memo.t = Memo.create ~name:"test.memo-par" () in
+  let results =
+    Pool.map_array (Pool.create ~jobs:4)
+      (fun i -> Memo.find_or_compute memo (string_of_int (i mod 3)) (fun () -> i mod 3))
+      (Array.init 64 Fun.id)
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "value matches key" (i mod 3) v)
+    results;
+  Alcotest.(check int) "at most three entries" 3 (Memo.length memo)
+
+let test_memo_inflight_dedup () =
+  (* four domains all asking for the same slow key must trigger exactly
+     one computation: the others block until the value settles *)
+  let memo : int Memo.t = Memo.create ~name:"test.memo-dedup" () in
+  let computed = Atomic.make 0 in
+  let slow () =
+    Atomic.incr computed;
+    Unix.sleepf 0.05;
+    42
+  in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Memo.find_or_compute memo "k" slow))
+  in
+  List.iter
+    (fun d -> Alcotest.(check int) "settled value" 42 (Domain.join d))
+    domains;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let test_trace_summary_smoke () =
+  Trace.reset ();
+  let task = Task.make ~name:"test.stage" (fun i -> i * 2) in
+  let out = Sweep.map_array ~pool:(Pool.create ~jobs:2) task (Array.init 10 Fun.id) in
+  Alcotest.(check int) "sweep result" 18 out.(9);
+  ignore (Memo.find_or_compute (Memo.create ~name:"test.cache" ()) "k" (fun () -> 1));
+  let s = Trace.summary () in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stage listed" true (contains "test.stage");
+  Alcotest.(check bool) "task count listed" true (contains "10");
+  Alcotest.(check bool) "cache listed" true (contains "test.cache");
+  Alcotest.(check bool) "speedup column" true (contains "speedup");
+  let st = List.find (fun (st : Trace.stage) -> st.Trace.name = "test.stage") (Trace.stages ()) in
+  Alcotest.(check int) "one call" 1 st.Trace.calls;
+  Alcotest.(check int) "ten tasks" 10 st.Trace.tasks;
+  Trace.reset ();
+  Alcotest.(check string) "reset empties the summary" "" (Trace.summary ())
+
+(* --- executor ------------------------------------------------------------- *)
+
+let test_executor_with_jobs () =
+  let before = Executor.get_jobs () in
+  Executor.with_jobs 3 (fun () ->
+      Alcotest.(check int) "temporarily 3" 3 (Executor.get_jobs ()));
+  Alcotest.(check int) "restored" before (Executor.get_jobs ())
+
+(* --- end-to-end determinism ------------------------------------------------ *)
+
+let ctx = lazy (Core.Context.quick ())
+
+let render_experiment id =
+  let e = Option.get (Core.Experiments.find id) in
+  match Core.Experiments.run_many (Lazy.force ctx) [ e ] with
+  | [ (_, artefacts) ] -> Core.Report.render artefacts
+  | _ -> Alcotest.fail "run_many shape"
+
+let test_parallel_byte_identical id () =
+  let seq = Executor.with_jobs 1 (fun () -> render_experiment id) in
+  (* drop every memoised intermediate so the parallel run recomputes *)
+  Core.Context.clear_memo ();
+  Nmcache_workload.Missrate.clear_cache ();
+  let par = Executor.with_jobs 4 (fun () -> render_experiment id) in
+  Alcotest.(check bool) (id ^ ": --jobs 4 matches sequential bytes") true
+    (String.equal seq par)
+
+let suite =
+  [
+    Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_ordering_under_uneven_work;
+    Alcotest.test_case "pool exception propagates" `Quick test_pool_exception_propagates;
+    Alcotest.test_case "nested pools degrade safely" `Quick test_pool_nested_degrades;
+    Alcotest.test_case "pool validation" `Quick test_pool_validation;
+    Alcotest.test_case "memo hit/miss accounting" `Quick test_memo_hits;
+    Alcotest.test_case "memo shared across domains" `Quick test_memo_parallel_shared;
+    Alcotest.test_case "memo dedups in-flight computes" `Quick test_memo_inflight_dedup;
+    Alcotest.test_case "trace summary smoke" `Quick test_trace_summary_smoke;
+    Alcotest.test_case "executor with_jobs" `Quick test_executor_with_jobs;
+    Alcotest.test_case "schemes parallel == sequential" `Slow
+      (test_parallel_byte_identical "schemes");
+    Alcotest.test_case "l2sweep parallel == sequential" `Slow
+      (test_parallel_byte_identical "l2sweep");
+  ]

@@ -109,6 +109,32 @@ let test_l2_sweep_feasibility_monotone () =
         Alcotest.(check bool) "no feasibility gap" false !seen_feasible))
     sweep.Core.Two_level.rows
 
+let test_m2_of_curve_diagnosable () =
+  let curve =
+    {
+      Nmcache_workload.Missrate.workload = "toy";
+      l1_size = 16384;
+      l1_miss_rate = 0.05;
+      l2_sizes = [| 1024; 2048 |];
+      l2_local_rates = [| 0.5; 0.25 |];
+    }
+  in
+  Alcotest.(check (float 0.0)) "exact size" 0.25 (Core.Two_level.m2_of_curve curve 2048);
+  match Core.Two_level.m2_of_curve curve 4096 with
+  | _ -> Alcotest.fail "unsimulated size must raise"
+  | exception Invalid_argument msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    let mentions s =
+      Alcotest.(check bool) ("message mentions " ^ s) true (contains msg s)
+    in
+    mentions "4096";
+    mentions "toy";
+    mentions "1024, 2048"
+
 let test_l2_m2_decreasing () =
   let sweep = Lazy.force l2_sweep_uniform in
   let rec check = function
@@ -331,6 +357,7 @@ let suite =
     Alcotest.test_case "fig1 Vth delay sensitivity" `Slow test_fig1_vth_is_the_delay_knob;
     Alcotest.test_case "scheme claims (T1)" `Slow test_scheme_claims;
     Alcotest.test_case "scheme II close to I (T1)" `Slow test_scheme_ii_close_to_i;
+    Alcotest.test_case "m2_of_curve diagnosable error" `Quick test_m2_of_curve_diagnosable;
     Alcotest.test_case "L2 feasibility monotone (T2)" `Slow test_l2_sweep_feasibility_monotone;
     Alcotest.test_case "L2 m2 decreasing (T2)" `Slow test_l2_m2_decreasing;
     Alcotest.test_case "L2 turnover (T2)" `Slow test_l2_turnover;

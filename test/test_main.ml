@@ -15,6 +15,7 @@ let () =
       ("workload", Test_workload.suite);
       ("energy", Test_energy.suite);
       ("opt", Test_opt.suite);
+      ("engine", Test_engine.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
       ("extras", Test_extras.suite);

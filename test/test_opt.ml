@@ -47,6 +47,59 @@ let test_grid_nearest () =
   Alcotest.(check bool) "snaps tox" true
     (Float.abs (Units.to_angstrom k.Component.tox -. 11.5) < 1e-9)
 
+let test_grid_nearest_tie_breaks_low () =
+  (* exactly midway between two grid points the first (lower) wins *)
+  let g = { Grid.vths = [| 0.2; 0.3 |]; toxs = [| Units.angstrom 10.0; Units.angstrom 11.0 |] } in
+  let k = Grid.nearest g (Component.knob ~vth:0.25 ~tox:(Units.angstrom 10.5)) in
+  Alcotest.(check (float 1e-12)) "vth tie -> lower" 0.2 k.Component.vth;
+  Alcotest.(check (float 1e-9)) "tox tie -> lower" 10.0 (Units.to_angstrom k.Component.tox)
+
+let test_steps_between_exact () =
+  let s = Grid.steps_between ~lo:0.0 ~hi:1.0 ~step:0.25 in
+  Alcotest.(check int) "five points" 5 (Array.length s);
+  Alcotest.(check (float 1e-12)) "first is lo" 0.0 s.(0);
+  Alcotest.(check (float 1e-12)) "last is hi" 1.0 s.(4)
+
+let test_steps_between_drifted_endpoint () =
+  (* hi a few ulps off a whole number of steps must still land the full
+     count, not drop or overshoot the endpoint *)
+  let hi = 0.15 +. (12.0 *. 0.025) in
+  (* 0.44999999999999996 on binary floats *)
+  let s = Grid.steps_between ~lo:0.15 ~hi ~step:0.025 in
+  Alcotest.(check int) "thirteen points" 13 (Array.length s);
+  Alcotest.(check bool) "endpoint within drift of hi" true
+    (Float.abs (s.(12) -. hi) < 1e-12)
+
+let test_steps_between_no_overshoot () =
+  (* hi is NOT on the grid: stop at the last step below it instead of
+     rounding up past hi (lo=0, hi=1.08, step=0.3 -> 3.6 steps) *)
+  let s = Grid.steps_between ~lo:0.0 ~hi:1.08 ~step:0.3 in
+  Alcotest.(check int) "four points" 4 (Array.length s);
+  Alcotest.(check (float 1e-12)) "last step below hi" 0.9 s.(3);
+  Array.iter (fun v -> Alcotest.(check bool) "never overshoots" true (v <= 1.08)) s
+
+let test_steps_between_degenerate_and_invalid () =
+  let s = Grid.steps_between ~lo:2.0 ~hi:2.0 ~step:0.5 in
+  Alcotest.(check int) "single point when lo = hi" 1 (Array.length s);
+  Alcotest.(check (float 1e-12)) "that point is lo" 2.0 s.(0);
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-positive step rejected" true
+    (raises (fun () -> ignore (Grid.steps_between ~lo:0.0 ~hi:1.0 ~step:0.0)));
+  Alcotest.(check bool) "hi below lo rejected" true
+    (raises (fun () -> ignore (Grid.steps_between ~lo:1.0 ~hi:0.0 ~step:0.5)))
+
+let test_coarse_fine_endpoints () =
+  List.iter
+    (fun (label, g) ->
+      let last arr = arr.(Array.length arr - 1) in
+      Alcotest.(check bool) (label ^ " vth endpoints") true
+        (Float.abs (g.Grid.vths.(0) -. tech.Tech.vth_min) < 1e-12
+        && Float.abs (last g.Grid.vths -. tech.Tech.vth_max) < 1e-12);
+      Alcotest.(check bool) (label ^ " tox endpoints") true
+        (Float.abs (g.Grid.toxs.(0) -. tech.Tech.tox_min) < 1e-15
+        && Float.abs (last g.Grid.toxs -. tech.Tech.tox_max) < 1e-15))
+    [ ("default", Grid.make tech); ("coarse", Grid.coarse tech); ("fine", Grid.fine tech) ]
+
 (* --- pareto ------------------------------------------------------------ *)
 
 let test_pareto_simple () =
@@ -350,6 +403,14 @@ let suite =
     Alcotest.test_case "grid sizes" `Quick test_grid_sizes;
     Alcotest.test_case "grid bounds" `Quick test_grid_bounds;
     Alcotest.test_case "grid nearest" `Quick test_grid_nearest;
+    Alcotest.test_case "grid nearest tie-break" `Quick test_grid_nearest_tie_breaks_low;
+    Alcotest.test_case "steps_between exact" `Quick test_steps_between_exact;
+    Alcotest.test_case "steps_between drifted endpoint" `Quick
+      test_steps_between_drifted_endpoint;
+    Alcotest.test_case "steps_between no overshoot" `Quick test_steps_between_no_overshoot;
+    Alcotest.test_case "steps_between degenerate/invalid" `Quick
+      test_steps_between_degenerate_and_invalid;
+    Alcotest.test_case "coarse/fine endpoints" `Quick test_coarse_fine_endpoints;
     Alcotest.test_case "pareto simple" `Quick test_pareto_simple;
     Alcotest.test_case "pareto dominates" `Quick test_pareto_dominates;
     Alcotest.test_case "scheme names" `Quick test_scheme_names;
