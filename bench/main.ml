@@ -19,6 +19,50 @@ module Scheme = Nmcache_opt.Scheme
 module Gen = Nmcache_workload.Gen
 module Access = Nmcache_workload.Access
 
+module Json = Nmcache_engine.Json
+module Span = Nmcache_engine.Span
+module Obs = Nmcache_engine.Obs
+module Metrics = Nmcache_engine.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench report                                        *)
+
+let bench_schema_version = 1
+
+(* BENCH_<label>.json: the perf-trajectory data point this run
+   contributes — per-experiment wall time (from the experiment spans),
+   the engine stage table, memo hit rates, and the metrics registry
+   (LM iteration counts, fit quality, cachesim totals).  Versioned so
+   later PRs can evolve the shape without breaking report readers. *)
+let write_bench_json ~label ~jobs ~quick ~wall_s =
+  let experiments =
+    List.filter_map
+      (fun (s : Span.span) ->
+        match List.assoc_opt "id" s.Span.attrs with
+        | Some (Json.String id) when String.length s.Span.name > 11
+                                     && String.sub s.Span.name 0 11 = "experiment:" ->
+          Some (Json.Obj [ ("id", Json.String id); ("wall_s", Json.Float (s.Span.dur_us /. 1e6)) ])
+        | _ -> None)
+      (Span.spans ())
+  in
+  let report =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("label", Json.String label);
+        ("jobs", Json.Int jobs);
+        ("quick", Json.Bool quick);
+        ("wall_s", Json.Float wall_s);
+        ("experiments", Json.List experiments);
+        ("stages", Obs.stages_json ());
+        ("memo", Obs.memo_json ());
+        ("metrics", Metrics.to_json ());
+      ]
+  in
+  let path = "BENCH_" ^ label ^ ".json" in
+  Obs.write_json ~path report;
+  Printf.printf "[bench report: %s]\n" path
+
 (* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
 
@@ -129,6 +173,14 @@ let microbenchmarks ctx =
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let string_flag name default =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then default
+      else if Sys.argv.(i) = name then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
   let jobs =
     (* --jobs N (default: one domain per core; --jobs 1 recovers the
        sequential path for timing comparisons) *)
@@ -144,12 +196,18 @@ let () =
     in
     find 1
   in
+  (* --label L names the BENCH_<L>.json report (CI passes the branch) *)
+  let label = string_flag "--label" "local" in
   Nmcache_engine.Executor.set_jobs jobs;
   let ctx = if quick then Core.Context.quick () else Core.Context.default () in
   let t0 = Unix.gettimeofday () in
+  Span.set_enabled true;
   reproduce ctx ~jobs;
+  write_bench_json ~label ~jobs ~quick ~wall_s:(Unix.gettimeofday () -. t0);
   (* microbenchmarks measure single-kernel latency: keep them off the
-     domain pool so bechamel's samples stay stable *)
+     domain pool — and stop collecting spans, bechamel would record
+     thousands per closure — so the samples stay stable *)
+  Span.set_enabled false;
   Nmcache_engine.Executor.set_jobs 1;
   microbenchmarks ctx;
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -30,6 +30,35 @@ let trace_arg =
   let doc = "Print the engine trace summary (per-stage wall time, task counts, memo hit rates) after the run." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let trace_json_arg =
+  let doc =
+    "Write the span tree as Chrome trace_event JSON to $(docv) — open it in \
+     Perfetto (ui.perfetto.dev) or chrome://tracing to inspect per-domain \
+     parallel execution."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let metrics_json_arg =
+  let doc =
+    "Write the metrics registry (counters, gauges, histogram quantiles), \
+     per-stage trace table and memo hit rates as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+(* Observability wrapper shared by the subcommands: span collection is
+   enabled only when a trace file was requested (spans carry
+   timestamps, so they stay out of the byte-compared experiment
+   output); report files are written even if the command fails partway,
+   so a crashed run still leaves its trace behind. *)
+let with_observability ~trace ~trace_json ~metrics_json f =
+  if trace_json <> None then Nmcache_engine.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      if trace then print_string (Nmcache_engine.Trace.summary ());
+      Option.iter (fun path -> Nmcache_engine.Obs.write_trace ~path) trace_json;
+      Option.iter (fun path -> Nmcache_engine.Obs.write_metrics ~path) metrics_json)
+    f
+
 let context quick = if quick then Core.Context.quick () else Core.Context.default ()
 
 let set_jobs jobs =
@@ -45,7 +74,7 @@ let set_jobs jobs =
 
 (* --- run ------------------------------------------------------------ *)
 
-let run_experiment ids quick csv jobs trace =
+let run_experiment ids quick csv jobs trace trace_json metrics_json =
   set_jobs jobs;
   let ctx = context quick in
   let targets =
@@ -61,18 +90,18 @@ let run_experiment ids quick csv jobs trace =
             exit 2)
         ids
   in
-  (* kernels run (possibly in parallel) first; artefacts print in
-     registry order afterwards, so the bytes never depend on --jobs *)
-  List.iter
-    (fun ((e : Core.Experiments.t), artefacts) ->
-      if csv then print_string (Core.Report.render_csv artefacts)
-      else begin
-        Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id
-          e.Core.Experiments.title e.Core.Experiments.paper_ref;
-        Core.Report.print artefacts
-      end)
-    (Core.Experiments.run_many ctx targets);
-  if trace then print_string (Nmcache_engine.Trace.summary ())
+  with_observability ~trace ~trace_json ~metrics_json (fun () ->
+      (* kernels run (possibly in parallel) first; artefacts print in
+         registry order afterwards, so the bytes never depend on --jobs *)
+      List.iter
+        (fun ((e : Core.Experiments.t), artefacts) ->
+          if csv then print_string (Core.Report.render_csv artefacts)
+          else begin
+            Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id
+              e.Core.Experiments.title e.Core.Experiments.paper_ref;
+            Core.Report.print artefacts
+          end)
+        (Core.Experiments.run_many ctx targets))
 
 let run_cmd =
   let ids =
@@ -83,7 +112,9 @@ let run_cmd =
   in
   let doc = "Run one or more experiments and print their tables/series." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ trace_arg)
+    Term.(
+      const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ trace_arg
+      $ trace_json_arg $ metrics_json_arg)
 
 (* --- list ------------------------------------------------------------ *)
 
@@ -101,43 +132,63 @@ let list_cmd =
 
 (* --- characterize ---------------------------------------------------- *)
 
-let characterize size_kb assoc block =
-  let tech = Nmcache_device.Tech.bptm65 in
-  let config = Config.make ~size_bytes:(size_kb * 1024) ~assoc ~block_bytes:block () in
-  let model = Cache_model.make tech config in
-  let fitted = Fitted_cache.characterize_and_fit model in
-  Format.printf "cache %a, %a@." Config.pp config Nmcache_geometry.Org.pp
-    (Cache_model.org model);
-  let w, h = Cache_model.floorplan model in
-  Format.printf "floorplan %.0f x %.0f um@." (Units.to_um w) (Units.to_um h);
-  List.iter
-    (fun (cm : Fitted_cache.component_model) ->
-      Format.printf "@.%s:@."
-        (Component.kind_name cm.Fitted_cache.kind);
-      Format.printf "  leakage: %a  [%a]@." Model.pp_leak cm.Fitted_cache.leak
-        Model.pp_quality cm.Fitted_cache.leak_quality;
-      Format.printf "  delay:   %a  [%a]@." Model.pp_delay cm.Fitted_cache.delay
-        Model.pp_quality cm.Fitted_cache.delay_quality;
-      Format.printf "  energy:  %a@." Model.pp_energy cm.Fitted_cache.energy)
-    (Fitted_cache.components fitted)
+let characterize size_kb assoc block trace trace_json metrics_json =
+  with_observability ~trace ~trace_json ~metrics_json (fun () ->
+      let tech = Nmcache_device.Tech.bptm65 in
+      let config = Config.make ~size_bytes:(size_kb * 1024) ~assoc ~block_bytes:block () in
+      let model = Cache_model.make tech config in
+      let fitted =
+        Nmcache_engine.Span.with_span "characterize" (fun () ->
+            Fitted_cache.characterize_and_fit model)
+      in
+      Format.printf "cache %a, %a@." Config.pp config Nmcache_geometry.Org.pp
+        (Cache_model.org model);
+      let w, h = Cache_model.floorplan model in
+      Format.printf "floorplan %.0f x %.0f um@." (Units.to_um w) (Units.to_um h);
+      List.iter
+        (fun (cm : Fitted_cache.component_model) ->
+          Format.printf "@.%s:@."
+            (Component.kind_name cm.Fitted_cache.kind);
+          Format.printf "  leakage: %a  [%a]@." Model.pp_leak cm.Fitted_cache.leak
+            Model.pp_quality cm.Fitted_cache.leak_quality;
+          Format.printf "  delay:   %a  [%a]@." Model.pp_delay cm.Fitted_cache.delay
+            Model.pp_quality cm.Fitted_cache.delay_quality;
+          Format.printf "  energy:  %a@." Model.pp_energy cm.Fitted_cache.energy)
+        (Fitted_cache.components fitted))
 
 let characterize_cmd =
   let size = Arg.(value & opt int 16 & info [ "size" ] ~docv:"KB" ~doc:"Capacity in KB.") in
   let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity.") in
   let block = Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.") in
   let doc = "Characterise a cache over the knob grid and print the fitted compact models." in
-  Cmd.v (Cmd.info "characterize" ~doc) Term.(const characterize $ size $ assoc $ block)
+  Cmd.v (Cmd.info "characterize" ~doc)
+    Term.(
+      const characterize $ size $ assoc $ block $ trace_arg $ trace_json_arg
+      $ metrics_json_arg)
 
 (* --- simulate --------------------------------------------------------- *)
 
-let simulate workload l1_kb l2_kb n =
-  let p =
-    Missrate.simulate ~workload ~l1_size:(l1_kb * 1024) ~l2_size:(l2_kb * 1024) ~n ()
-  in
-  Printf.printf "%s over %d accesses (L1 %dKB, L2 %dKB):\n" workload n l1_kb l2_kb;
-  Printf.printf "  L1 miss rate       %.3f%%\n" (100.0 *. p.Missrate.l1_miss);
-  Printf.printf "  L2 local miss rate %.3f%%\n" (100.0 *. p.Missrate.l2_local);
-  Printf.printf "  L2 global miss     %.3f%%\n" (100.0 *. p.Missrate.l2_global)
+let simulate workload l1_kb l2_kb n trace trace_json metrics_json =
+  (* validate upfront so a typo'd name is a usage error with the menu
+     of valid names, not a raw Invalid_argument from Registry.build *)
+  if Registry.find workload = None then begin
+    Printf.eprintf "unknown workload %S; available: %s\n" workload
+      (String.concat ", " Registry.names);
+    exit 2
+  end;
+  with_observability ~trace ~trace_json ~metrics_json (fun () ->
+      let p =
+        Nmcache_engine.Span.with_span
+          ~attrs:[ ("workload", Nmcache_engine.Json.String workload) ]
+          "simulate"
+          (fun () ->
+            Missrate.simulate ~workload ~l1_size:(l1_kb * 1024)
+              ~l2_size:(l2_kb * 1024) ~n ())
+      in
+      Printf.printf "%s over %d accesses (L1 %dKB, L2 %dKB):\n" workload n l1_kb l2_kb;
+      Printf.printf "  L1 miss rate       %.3f%%\n" (100.0 *. p.Missrate.l1_miss);
+      Printf.printf "  L2 local miss rate %.3f%%\n" (100.0 *. p.Missrate.l2_local);
+      Printf.printf "  L2 global miss     %.3f%%\n" (100.0 *. p.Missrate.l2_global))
 
 let simulate_cmd =
   let workload =
@@ -147,7 +198,10 @@ let simulate_cmd =
   let l2 = Arg.(value & opt int 1024 & info [ "l2" ] ~docv:"KB" ~doc:"L2 size in KB.") in
   let n = Arg.(value & opt int 2_000_000 & info [ "n"; "accesses" ] ~doc:"Trace length.") in
   let doc = "Simulate a workload through an L1+L2 hierarchy and print miss rates." in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ workload $ l1 $ l2 $ n)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ workload $ l1 $ l2 $ n $ trace_arg $ trace_json_arg
+      $ metrics_json_arg)
 
 (* --- workloads --------------------------------------------------------- *)
 

@@ -40,6 +40,19 @@ let record t ~hit ~write =
   if write then t.write_accesses <- t.write_accesses + 1
   else t.read_accesses <- t.read_accesses + 1
 
+(* Bulk flush into the engine metrics registry — one call per finished
+   simulation, never per access, so the simulator's hot loop stays
+   lock-free. *)
+let flush_to_metrics ~prefix t =
+  let module Metrics = Nmcache_engine.Metrics in
+  let add name v = if v <> 0 then Metrics.incr ~by:v (prefix ^ "." ^ name) in
+  add "accesses" t.accesses;
+  add "hits" t.hits;
+  add "misses" t.misses;
+  add "evictions" t.evictions;
+  add "writebacks" t.writebacks;
+  add "cold_misses" t.cold_misses
+
 let pp fmt t =
   Format.fprintf fmt "acc=%d hit=%d miss=%d (%.3f%%) wb=%d cold=%d" t.accesses t.hits
     t.misses (100.0 *. miss_rate t) t.writebacks t.cold_misses

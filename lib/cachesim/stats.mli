@@ -22,4 +22,10 @@ val hit_rate : t -> float
 val record : t -> hit:bool -> write:bool -> unit
 (** Bump the access/hit-or-miss/read-or-write counters. *)
 
+val flush_to_metrics : prefix:string -> t -> unit
+(** Add every non-zero counter to the {!Nmcache_engine.Metrics}
+    registry as [<prefix>.accesses], [<prefix>.misses], … — called
+    once per finished simulation so per-access bookkeeping never takes
+    the registry lock. *)
+
 val pp : Format.formatter -> t -> unit

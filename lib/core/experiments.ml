@@ -127,5 +127,12 @@ let ids = List.map (fun e -> e.id) all
 
 let run_many ctx exps =
   Nmcache_engine.Sweep.map_list
-    (Nmcache_engine.Task.make ~name:"experiments.run" (fun e -> (e, e.run ctx)))
+    (Nmcache_engine.Task.make ~name:"experiments.run" (fun e ->
+         (* a named span per experiment so trace viewers and the bench
+            report get per-experiment wall time without re-timing *)
+         ( e,
+           Nmcache_engine.Span.with_span
+             ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
+             ("experiment:" ^ e.id)
+             (fun () -> e.run ctx) )))
     exps

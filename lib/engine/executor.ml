@@ -2,7 +2,8 @@ let jobs = Atomic.make 1
 
 let set_jobs n =
   if n < 1 then invalid_arg "Executor.set_jobs: jobs must be >= 1";
-  Atomic.set jobs n
+  Atomic.set jobs n;
+  Metrics.set_gauge "pool.jobs" (float_of_int n)
 
 let get_jobs () = Atomic.get jobs
 let default_jobs () = max 1 (Domain.recommended_domain_count ())

@@ -1,0 +1,172 @@
+(* Log-bucketed histogram: 16 buckets per decade.  A sample v > 0 lands
+   in bucket floor(ln v / w) with w = ln 10 / 16, whose representative
+   value is the geometric midpoint exp((i + 0.5) w) — so any quantile
+   estimate is within a half-bucket (~7%) of the true sample. *)
+
+let bucket_width = Float.log 10.0 /. 16.0
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable zeros : int; (* samples <= 0, treated as value 0 *)
+  buckets : (int, int ref) Hashtbl.t;
+}
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mutex = Mutex.create ()
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let incr ?(by = 1) name =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace counters name (ref by))
+
+let set_gauge name v =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace gauges name (ref v))
+
+let observe name v =
+  Mutex.protect mutex (fun () ->
+      let h =
+        match Hashtbl.find_opt histograms name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              count = 0;
+              sum = 0.0;
+              min_v = Float.infinity;
+              max_v = Float.neg_infinity;
+              zeros = 0;
+              buckets = Hashtbl.create 16;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      if v <= 0.0 then h.zeros <- h.zeros + 1
+      else begin
+        let i = int_of_float (Float.floor (Float.log v /. bucket_width)) in
+        match Hashtbl.find_opt h.buckets i with
+        | Some r -> Stdlib.incr r
+        | None -> Hashtbl.replace h.buckets i (ref 1)
+      end)
+
+let counter_value name =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
+
+let gauge_value name =
+  Mutex.protect mutex (fun () ->
+      Option.map (fun r -> !r) (Hashtbl.find_opt gauges name))
+
+(* quantile by walking the zero bucket then log buckets in index order;
+   the answer is the representative value of the bucket holding the
+   q-th sample, clamped into [min, max] so tiny histograms read
+   sensibly *)
+let quantile_of (h : histogram) q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int h.count)) in
+    let rank = int_of_float (Float.min rank (float_of_int h.count)) in
+    if rank <= h.zeros then Float.max 0.0 h.min_v
+    else begin
+      let idxs =
+        List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) h.buckets [])
+      in
+      let rec walk seen = function
+        | [] -> h.max_v
+        | i :: rest ->
+          let seen = seen + !(Hashtbl.find h.buckets i) in
+          if seen >= rank then
+            let rep = Float.exp ((float_of_int i +. 0.5) *. bucket_width) in
+            Float.min h.max_v (Float.max h.min_v rep)
+          else walk seen rest
+      in
+      walk h.zeros idxs
+    end
+  end
+
+let summary_of (h : histogram) =
+  {
+    count = h.count;
+    sum = h.sum;
+    min = (if h.count = 0 then 0.0 else h.min_v);
+    max = (if h.count = 0 then 0.0 else h.max_v);
+    p50 = quantile_of h 0.50;
+    p90 = quantile_of h 0.90;
+    p99 = quantile_of h 0.99;
+  }
+
+let histogram_summary name =
+  Mutex.protect mutex (fun () ->
+      Option.map summary_of (Hashtbl.find_opt histograms name))
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+
+let sorted_bindings table value =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table [])
+
+let snapshot () =
+  Mutex.protect mutex (fun () ->
+      {
+        counters = sorted_bindings counters (fun r -> !r);
+        gauges = sorted_bindings gauges (fun r -> !r);
+        histograms = sorted_bindings histograms summary_of;
+      })
+
+let to_json () =
+  let s = snapshot () in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, (h : histogram_summary)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.count);
+                     ("sum", Json.Float h.sum);
+                     ("min", Json.Float h.min);
+                     ("max", Json.Float h.max);
+                     ("p50", Json.Float h.p50);
+                     ("p90", Json.Float h.p90);
+                     ("p99", Json.Float h.p99);
+                   ] ))
+             s.histograms) );
+    ]
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)

@@ -1,0 +1,49 @@
+let metrics_schema_version = 1
+
+let stages_json () =
+  Json.List
+    (List.map
+       (fun (s : Trace.stage) ->
+         Json.Obj
+           [
+             ("name", Json.String s.Trace.name);
+             ("calls", Json.Int s.Trace.calls);
+             ("tasks", Json.Int s.Trace.tasks);
+             ("busy_s", Json.Float s.Trace.busy_s);
+             ("wall_s", Json.Float s.Trace.wall_s);
+           ])
+       (Trace.stages ()))
+
+let memo_json () =
+  Json.List
+    (List.map
+       (fun (c : Trace.cache_counter) ->
+         let total = c.Trace.hits + c.Trace.misses in
+         Json.Obj
+           [
+             ("name", Json.String c.Trace.cache);
+             ("hits", Json.Int c.Trace.hits);
+             ("misses", Json.Int c.Trace.misses);
+             ( "hit_rate",
+               if total = 0 then Json.Null
+               else Json.Float (float_of_int c.Trace.hits /. float_of_int total) );
+           ])
+       (Trace.cache_counters ()))
+
+let metrics_report () =
+  Json.Obj
+    [
+      ("schema_version", Json.Int metrics_schema_version);
+      ("metrics", Metrics.to_json ());
+      ("stages", stages_json ());
+      ("memo", memo_json ());
+    ]
+
+let write_json ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty json))
+
+let write_metrics ~path = write_json ~path (metrics_report ())
+let write_trace ~path = write_json ~path (Span.to_chrome_json ())

@@ -1,0 +1,29 @@
+(** Machine-readable run reports: assembly and file output for the
+    observability layer.
+
+    Pulls the three collectors together — {!Span} (span tree),
+    {!Metrics} (counters / gauges / histograms) and {!Trace} (flat
+    stage table + memo counters) — into versioned JSON documents.
+    [ppcache … --trace-json F --metrics-json F] and the bench
+    [BENCH_<label>.json] report are thin wrappers over this module. *)
+
+val metrics_schema_version : int
+
+val metrics_report : unit -> Json.t
+(** [{ "schema_version"; "metrics": {counters,gauges,histograms};
+    "stages": [{name,calls,tasks,busy_s,wall_s}];
+    "memo": [{name,hits,misses,hit_rate}] }] — stages and memo tables
+    mirror {!Trace.summary} in machine-readable form. *)
+
+val stages_json : unit -> Json.t
+val memo_json : unit -> Json.t
+
+val write_json : path:string -> Json.t -> unit
+(** Pretty-printed, trailing newline. *)
+
+val write_metrics : path:string -> unit
+(** {!metrics_report} to [path]. *)
+
+val write_trace : path:string -> unit
+(** {!Span.to_chrome_json} to [path] — open in Perfetto
+    ([ui.perfetto.dev]) or [chrome://tracing]. *)

@@ -3,22 +3,40 @@ let map_array ?pool task arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
-    let times = Array.make n 0.0 in
-    let t0 = Unix.gettimeofday () in
-    let results =
-      Pool.map_array pool
-        (fun i ->
-          let s = Unix.gettimeofday () in
-          let r = Task.kernel task arr.(i) in
-          times.(i) <- Unix.gettimeofday () -. s;
-          r)
-        (Array.init n Fun.id)
+    let name = Task.name task in
+    let domains = min (Pool.jobs pool) n in
+    Metrics.incr "pool.fanouts";
+    Metrics.observe "pool.fanout.tasks" (float_of_int n);
+    Metrics.observe "pool.fanout.domains" (float_of_int domains);
+    let run_fanout () =
+      (* the fan-out span is open here; kernels on spawned domains get
+         re-parented to it explicitly since their span stack is fresh *)
+      let parent = Span.current_id () in
+      let traced = Span.enabled () in
+      let times = Array.make n 0.0 in
+      let t0 = Unix.gettimeofday () in
+      let kernel i =
+        let s = Unix.gettimeofday () in
+        let r =
+          if traced then
+            Span.with_parent parent (fun () ->
+                Span.with_span ~attrs:[ ("index", Json.Int i) ] name (fun () ->
+                    Task.kernel task arr.(i)))
+          else Task.kernel task arr.(i)
+        in
+        times.(i) <- Unix.gettimeofday () -. s;
+        r
+      in
+      let results = Pool.map_array pool kernel (Array.init n Fun.id) in
+      let wall = Unix.gettimeofday () -. t0 in
+      Trace.record ~stage:name ~tasks:n
+        ~busy_s:(Array.fold_left ( +. ) 0.0 times)
+        ~wall_s:wall;
+      results
     in
-    let wall = Unix.gettimeofday () -. t0 in
-    Trace.record ~stage:(Task.name task) ~tasks:n
-      ~busy_s:(Array.fold_left ( +. ) 0.0 times)
-      ~wall_s:wall;
-    results
+    Span.with_span
+      ~attrs:[ ("tasks", Json.Int n); ("domains", Json.Int domains) ]
+      ("sweep:" ^ name) run_fanout
   end
 
 let map_list ?pool task l = Array.to_list (map_array ?pool task (Array.of_list l))

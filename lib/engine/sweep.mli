@@ -4,7 +4,12 @@
     Output order always equals input order, so for pure kernels the
     result — and anything rendered from it — is byte-identical
     whatever the [jobs] setting.  Each sweep records a {!Trace} stage
-    sample (task count, busy time, wall time). *)
+    sample (task count, busy time, wall time), fan-out metrics in
+    {!Metrics} ([pool.fanouts], [pool.fanout.tasks],
+    [pool.fanout.domains]) and — when {!Span} collection is enabled —
+    a [sweep:<task>] span with one child span per kernel, re-parented
+    across the domain boundary so the tree survives parallel
+    execution. *)
 
 val map_array : ?pool:Pool.t -> ('a, 'b) Task.t -> 'a array -> 'b array
 (** Defaults to a pool of {!Executor.get_jobs} width. *)

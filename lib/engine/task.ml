@@ -6,4 +6,5 @@ type ('a, 'b) t = {
 let make ~name f = { name; f }
 let name t = t.name
 let kernel t = t.f
-let run t x = Trace.with_stage t.name (fun () -> t.f x)
+let run t x =
+  Trace.with_stage t.name (fun () -> Span.with_span t.name (fun () -> t.f x))

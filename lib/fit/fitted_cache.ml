@@ -23,11 +23,16 @@ let characterize_and_fit ?(vth_steps = 6) ?(tox_steps = 4) circuit =
   let vths = Minimize.linspace ~lo:tech.Tech.vth_min ~hi:tech.Tech.vth_max ~steps:vth_steps in
   let toxs = Minimize.linspace ~lo:tech.Tech.tox_min ~hi:tech.Tech.tox_max ~steps:tox_steps in
   let fit_kind kind =
-    let samples = Cache_model.characterize circuit kind ~vths ~toxs in
-    let leak, leak_quality = Fitter.fit_leak samples in
-    let delay, delay_quality = Fitter.fit_delay samples in
-    let energy, energy_quality = Fitter.fit_energy samples in
-    { kind; leak; leak_quality; delay; delay_quality; energy; energy_quality }
+    let kind_name = Component.kind_name kind in
+    Nmcache_engine.Span.with_span
+      ~attrs:[ ("component", Nmcache_engine.Json.String kind_name) ]
+      ("fit:" ^ kind_name)
+      (fun () ->
+        let samples = Cache_model.characterize circuit kind ~vths ~toxs in
+        let leak, leak_quality = Fitter.fit_leak samples in
+        let delay, delay_quality = Fitter.fit_delay samples in
+        let energy, energy_quality = Fitter.fit_energy samples in
+        { kind; leak; leak_quality; delay; delay_quality; energy; energy_quality })
   in
   let models = Array.of_list (List.map fit_kind Component.all_kinds) in
   { circuit; models }

@@ -5,8 +5,21 @@ module Linsolve = Nmcache_numerics.Linsolve
 module Lm = Nmcache_numerics.Lm
 module Stats = Nmcache_numerics.Stats
 module Minimize = Nmcache_numerics.Minimize
+module Metrics = Nmcache_engine.Metrics
 
 type samples = (Component.knob * Component.summary) array
+
+(* One metrics sample per LM fit: iteration count, final residual and
+   fit quality, labelled by which compact model was being fitted.
+   Fits are coarse (milliseconds), so the registry update is noise. *)
+let record_lm ~model (result : Lm.result) (quality : Model.quality) =
+  Metrics.incr "lm.fits";
+  if result.Lm.converged then Metrics.incr "lm.converged";
+  Metrics.observe "lm.iterations" (float_of_int result.Lm.iterations);
+  Metrics.observe ("lm." ^ model ^ ".iterations") (float_of_int result.Lm.iterations);
+  Metrics.observe ("lm." ^ model ^ ".residual") result.Lm.residual;
+  Metrics.observe ("fit." ^ model ^ ".r2") quality.Model.r2;
+  Metrics.observe ("fit." ^ model ^ ".rms_rel") quality.Model.rms_rel
 
 let unpack samples field =
   Array.map
@@ -96,7 +109,9 @@ let fit_leak samples =
         Model.eval_leak m ~vth:k.Component.vth ~tox:k.Component.tox)
       samples
   in
-  (m, quality_of ~actual ~predicted)
+  let quality = quality_of ~actual ~predicted in
+  record_lm ~model:"leak" result quality;
+  (m, quality)
 
 let quality_leak m samples =
   let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.leak_w) samples in
@@ -155,7 +170,9 @@ let fit_delay samples =
         Model.eval_delay m ~vth:k.Component.vth ~tox:k.Component.tox)
       samples
   in
-  (m, quality_of ~actual ~predicted)
+  let quality = quality_of ~actual ~predicted in
+  record_lm ~model:"delay" result quality;
+  (m, quality)
 
 let quality_delay m samples =
   let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.delay) samples in
@@ -181,4 +198,6 @@ let fit_energy samples =
       (fun ((k : Component.knob), _) -> Model.eval_energy m ~tox:k.Component.tox)
       samples
   in
-  (m, quality_of ~actual:ys ~predicted)
+  let quality = quality_of ~actual:ys ~predicted in
+  Metrics.observe "fit.energy.r2" quality.Model.r2;
+  (m, quality)

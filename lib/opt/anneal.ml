@@ -78,6 +78,7 @@ let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
     else (params.t_end /. params.t_start) ** (1.0 /. float_of_int params.iterations)
   in
   let temperature = ref params.t_start in
+  let accepted = ref 0 in
   for _ = 1 to params.iterations do
     let c = Rng.int rng ~bound:n_components in
     let old = state.(c) in
@@ -99,6 +100,7 @@ let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
       || Rng.float rng < Float.exp ((!current_cost -. c_new) /. Float.max !temperature 1e-12)
     in
     if accept then begin
+      incr accepted;
       current_cost := c_new;
       let best_cost, _, _ = !best in
       if c_new < best_cost then begin
@@ -115,6 +117,14 @@ let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
     else state.(c) <- old;
     temperature := !temperature *. cooling
   done;
+  let module Metrics = Nmcache_engine.Metrics in
+  Metrics.incr "anneal.runs";
+  Metrics.incr ~by:params.iterations "anneal.proposals";
+  Metrics.incr ~by:!accepted "anneal.accepted";
+  Metrics.incr ~by:!evaluations "anneal.evaluations";
+  if params.iterations > 0 then
+    Metrics.observe "anneal.acceptance_rate"
+      (float_of_int !accepted /. float_of_int params.iterations);
   let chosen_state, leak_w, access_time, feasible =
     match !best_feasible with
     | Some (_, st) ->

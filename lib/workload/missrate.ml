@@ -52,6 +52,9 @@ let simulate ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64) ?(policy = Replacemen
       Cache.reset_stats l2;
       Gen.iter gen (n - warm) (fun a ->
           ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
+      Nmcache_engine.Metrics.incr "cachesim.simulations";
+      Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
+      Stats.flush_to_metrics ~prefix:"cachesim.l2" (Cache.stats l2);
       {
         l1_miss = Hierarchy.l1_miss_rate h;
         l2_local = Hierarchy.l2_local_miss_rate h;
@@ -91,6 +94,8 @@ let raw_curve ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~wor
       Mattson.set_measuring profiler true;
       Gen.iter gen (n - warm) feed;
       let l1m = Stats.miss_rate (Cache.stats l1) in
+      Nmcache_engine.Metrics.incr "cachesim.mattson_curves";
+      Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
       let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
       let rates = Mattson.miss_ratio_curve profiler ~capacities:caps in
       (l1m, rates))
@@ -144,5 +149,7 @@ let l1_sweep ?(l1_assoc = 4) ?(block = 64) ?(policy = Replacement.Lru)
              Cache.reset_stats l1;
              Gen.iter gen (n - warm) (fun a ->
                  ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
+             Nmcache_engine.Metrics.incr "cachesim.simulations";
+             Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
              Stats.miss_rate (Cache.stats l1))))
     l1_sizes

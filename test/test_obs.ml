@@ -1,0 +1,331 @@
+(* Tests for the observability layer: the mini JSON codec, metrics
+   registry (histogram quantiles, cross-domain counter safety), span
+   tracing (chrome trace_event export round-trip, nesting, agreement
+   with the flat Trace stage table) and the machine-readable report
+   assembly. *)
+
+module Json = Nmcache_engine.Json
+module Metrics = Nmcache_engine.Metrics
+module Span = Nmcache_engine.Span
+module Obs = Nmcache_engine.Obs
+module Trace = Nmcache_engine.Trace
+module Pool = Nmcache_engine.Pool
+module Task = Nmcache_engine.Task
+module Sweep = Nmcache_engine.Sweep
+
+let with_clean_slate f =
+  Metrics.reset ();
+  Trace.reset ();
+  Span.set_enabled false;
+  Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ();
+      Metrics.reset ();
+      Trace.reset ())
+    f
+
+(* --- json ----------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("pi", Json.Float 3.14159265358979312);
+        ("tiny", Json.Float 1.5e-300);
+        ("s", Json.String "line\nquote\"back\\slash\ttab");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nested", Json.List [ Json.Int 1; Json.List [ Json.String "x" ]; Json.Obj [ ("k", Json.Int 2) ] ]);
+      ]
+  in
+  List.iter
+    (fun rendered ->
+      match Json.parse rendered with
+      | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+      | Error e -> Alcotest.fail e)
+    [ Json.to_string v; Json.to_string_pretty v ]
+
+let test_json_float_fidelity () =
+  (* %.17g must reproduce doubles bit-exactly through parse *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+        Alcotest.(check bool) (Printf.sprintf "%h survives" f) true (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Ok v -> Alcotest.failf "parsed to non-float %s" (Json.to_string v)
+      | Error e -> Alcotest.fail e)
+    [ 0.1; 1.0 /. 3.0; 6.241e18; -0.0; 1e-300 ];
+  (* non-finite floats degrade to null rather than invalid JSON *)
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let v = Json.parse_exn {|{"a": [1, 2.5], "b": "x"}|} in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Option.bind (Json.member "a" v) (fun l ->
+         Option.bind (Json.to_list l) (fun l -> Json.to_int (List.hd l))));
+  Alcotest.(check (option string)) "str member" (Some "x")
+    (Option.bind (Json.member "b" v) Json.to_str);
+  Alcotest.(check (option string)) "missing member" None
+    (Option.bind (Json.member "zzz" v) Json.to_str)
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  with_clean_slate (fun () ->
+      Metrics.incr "c";
+      Metrics.incr ~by:41 "c";
+      Alcotest.(check int) "counter sums" 42 (Metrics.counter_value "c");
+      Alcotest.(check int) "unknown counter is 0" 0 (Metrics.counter_value "nope");
+      Metrics.set_gauge "g" 1.5;
+      Metrics.set_gauge "g" 2.5;
+      Alcotest.(check (option (float 1e-9))) "gauge keeps last" (Some 2.5) (Metrics.gauge_value "g"))
+
+let test_histogram_quantiles () =
+  with_clean_slate (fun () ->
+      (* uniform 1..1000: p50=500, p90=900, p99=990; log buckets are 16
+         per decade, so estimates carry at most ~8% relative error *)
+      for i = 1 to 1000 do
+        Metrics.observe "h" (float_of_int i)
+      done;
+      match Metrics.histogram_summary "h" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some s ->
+        Alcotest.(check int) "count" 1000 s.Metrics.count;
+        Alcotest.(check (float 1e-6)) "sum" 500500.0 s.Metrics.sum;
+        Alcotest.(check (float 1e-6)) "min" 1.0 s.Metrics.min;
+        Alcotest.(check (float 1e-6)) "max" 1000.0 s.Metrics.max;
+        let check_quantile name est truth =
+          let rel = Float.abs (est -. truth) /. truth in
+          if rel > 0.10 then
+            Alcotest.failf "%s: estimate %.1f vs true %.1f (rel %.3f)" name est truth rel
+        in
+        check_quantile "p50" s.Metrics.p50 500.0;
+        check_quantile "p90" s.Metrics.p90 900.0;
+        check_quantile "p99" s.Metrics.p99 990.0)
+
+let test_histogram_degenerate () =
+  with_clean_slate (fun () ->
+      Metrics.observe "one" 7.0;
+      (match Metrics.histogram_summary "one" with
+      | Some s ->
+        Alcotest.(check (float 1e-6)) "single-sample p50 is clamped" 7.0 s.Metrics.p50;
+        Alcotest.(check (float 1e-6)) "single-sample p99 is clamped" 7.0 s.Metrics.p99
+      | None -> Alcotest.fail "missing");
+      Metrics.observe "zeros" 0.0;
+      Metrics.observe "zeros" (-3.0);
+      match Metrics.histogram_summary "zeros" with
+      | Some s ->
+        Alcotest.(check int) "non-positive samples counted" 2 s.Metrics.count;
+        Alcotest.(check (float 1e-6)) "p50 of underflow bucket" 0.0 s.Metrics.p50
+      | None -> Alcotest.fail "missing")
+
+let test_counters_parallel () =
+  with_clean_slate (fun () ->
+      (* 64 kernels on 4 domains all bumping the same counter: the total
+         must be exact, not racy *)
+      ignore
+        (Pool.map_array (Pool.create ~jobs:4)
+           (fun _ ->
+             for _ = 1 to 1000 do
+               Metrics.incr "par"
+             done;
+             Metrics.observe "par.h" 1.0)
+           (Array.init 64 Fun.id));
+      Alcotest.(check int) "counter exact across domains" 64_000 (Metrics.counter_value "par");
+      match Metrics.histogram_summary "par.h" with
+      | Some s -> Alcotest.(check int) "histogram count exact" 64 s.Metrics.count
+      | None -> Alcotest.fail "histogram missing")
+
+let test_metrics_json_parses () =
+  with_clean_slate (fun () ->
+      Metrics.incr "a.count";
+      Metrics.set_gauge "a.gauge" 0.5;
+      Metrics.observe "a.h" 10.0;
+      Trace.record ~stage:"st" ~tasks:3 ~busy_s:0.1 ~wall_s:0.1;
+      Trace.cache_hit "memo1";
+      Trace.cache_miss "memo1";
+      let report = Obs.metrics_report () in
+      let parsed = Json.parse_exn (Json.to_string_pretty report) in
+      Alcotest.(check (option int)) "schema_version" (Some Obs.metrics_schema_version)
+        (Option.bind (Json.member "schema_version" parsed) Json.to_int);
+      let counters = Option.get (Json.member "metrics" parsed) |> Json.member "counters" |> Option.get in
+      Alcotest.(check (option int)) "counter in report" (Some 1)
+        (Option.bind (Json.member "a.count" counters) Json.to_int);
+      let memo = Option.get (Json.member "memo" parsed) |> Json.to_list |> Option.get in
+      Alcotest.(check int) "one memo cache" 1 (List.length memo);
+      let hit_rate = Option.get (Json.member "hit_rate" (List.hd memo)) in
+      Alcotest.(check (option (float 1e-9))) "hit rate" (Some 0.5) (Json.to_float hit_rate);
+      let stages = Option.get (Json.member "stages" parsed) |> Json.to_list |> Option.get in
+      Alcotest.(check (option int)) "stage tasks" (Some 3)
+        (Option.bind (Json.member "tasks" (List.hd stages)) Json.to_int))
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let test_span_disabled_is_free () =
+  with_clean_slate (fun () ->
+      let r = Span.with_span "off" (fun () -> 41 + 1) in
+      Alcotest.(check int) "value passes through" 42 r;
+      Alcotest.(check int) "nothing recorded" 0 (List.length (Span.spans ())))
+
+let test_span_exception_still_records () =
+  with_clean_slate (fun () ->
+      Span.set_enabled true;
+      (try Span.with_span "boom" (fun () -> failwith "kernel") with Failure _ -> ());
+      let spans = Span.spans () in
+      Alcotest.(check int) "span recorded despite raise" 1 (List.length spans);
+      Alcotest.(check (option int)) "stack unwound" None (Span.current_id ()))
+
+let find_spans name spans = List.filter (fun (s : Span.span) -> s.Span.name = name) spans
+
+let test_span_chrome_roundtrip () =
+  with_clean_slate (fun () ->
+      Span.set_enabled true;
+      Span.with_span ~attrs:[ ("layer", Json.Int 0) ] "root" (fun () ->
+          Span.with_span "middle" (fun () ->
+              Span.with_span "leaf" (fun () -> ());
+              Span.with_span "leaf" (fun () -> ())));
+      let parsed = Json.parse_exn (Json.to_string (Span.to_chrome_json ())) in
+      let events =
+        Option.get (Json.member "traceEvents" parsed) |> Json.to_list |> Option.get
+      in
+      let complete =
+        List.filter
+          (fun e -> Json.member "ph" e |> Option.get |> Json.to_str = Some "X")
+          events
+      in
+      Alcotest.(check int) "four complete events" 4 (List.length complete);
+      (* every event carries the trace_event envelope *)
+      List.iter
+        (fun e ->
+          Alcotest.(check (option int)) "pid" (Some 1)
+            (Option.bind (Json.member "pid" e) Json.to_int);
+          Alcotest.(check bool) "tid present" true (Json.member "tid" e <> None);
+          Alcotest.(check bool) "ts numeric" true
+            (Option.bind (Json.member "ts" e) Json.to_float <> None);
+          Alcotest.(check bool) "dur numeric" true
+            (Option.bind (Json.member "dur" e) Json.to_float <> None))
+        complete;
+      (* rebuild the tree from args.span_id/parent_id and check both the
+         edges and the time containment *)
+      let field e name = Option.get (Json.member name e) in
+      let arg e name = Json.member name (field e "args") in
+      let by_id =
+        List.map (fun e -> (Option.get (Option.bind (arg e "span_id") Json.to_int), e)) complete
+      in
+      let name_of e = Option.get (Json.to_str (field e "name")) in
+      let root = List.hd (List.filter (fun (_, e) -> name_of e = "root") by_id) in
+      let middle = List.hd (List.filter (fun (_, e) -> name_of e = "middle") by_id) in
+      let leaves = List.filter (fun (_, e) -> name_of e = "leaf") by_id in
+      Alcotest.(check int) "two leaves" 2 (List.length leaves);
+      Alcotest.(check (option int)) "root has no parent" None
+        (Option.bind (arg (snd root) "parent_id") Json.to_int);
+      Alcotest.(check (option int)) "middle's parent is root" (Some (fst root))
+        (Option.bind (arg (snd middle) "parent_id") Json.to_int);
+      List.iter
+        (fun (_, leaf) ->
+          Alcotest.(check (option int)) "leaf's parent is middle" (Some (fst middle))
+            (Option.bind (arg leaf "parent_id") Json.to_int))
+        leaves;
+      Alcotest.(check (option int)) "attrs exported" (Some 0)
+        (Option.bind (arg (snd root) "layer") Json.to_int);
+      let ts e = Option.get (Option.bind (Json.member "ts" e) Json.to_float) in
+      let finish e = ts e +. Option.get (Option.bind (Json.member "dur" e) Json.to_float) in
+      let slack = 1.0 (* µs: gettimeofday resolution *) in
+      List.iter
+        (fun (_, child) ->
+          let parent = snd (if name_of child = "middle" then root else middle) in
+          Alcotest.(check bool) "child starts after parent" true (ts child >= ts parent -. slack);
+          Alcotest.(check bool) "child ends before parent" true
+            (finish child <= finish parent +. slack))
+        (middle :: leaves))
+
+let test_span_crosses_domains () =
+  with_clean_slate (fun () ->
+      Span.set_enabled true;
+      (* kernels sleep briefly so the spawned domains claim work before
+         the calling domain drains the queue *)
+      let task =
+        Task.make ~name:"obs.kernel" (fun i ->
+            Unix.sleepf 0.005;
+            i * 3)
+      in
+      let out =
+        Span.with_span "fanout-root" (fun () ->
+            Sweep.map_array ~pool:(Pool.create ~jobs:4) task (Array.init 16 Fun.id))
+      in
+      Alcotest.(check int) "sweep result intact" 45 out.(15);
+      let spans = Span.spans () in
+      let sweep_span =
+        match find_spans "sweep:obs.kernel" spans with
+        | [ s ] -> s
+        | l -> Alcotest.failf "expected one sweep span, got %d" (List.length l)
+      in
+      let root = List.hd (find_spans "fanout-root" spans) in
+      Alcotest.(check (option int)) "sweep hangs off enclosing span"
+        (Some root.Span.id) sweep_span.Span.parent;
+      let kernels = find_spans "obs.kernel" spans in
+      Alcotest.(check int) "one span per kernel" 16 (List.length kernels);
+      List.iter
+        (fun (k : Span.span) ->
+          Alcotest.(check (option int)) "kernel parented to sweep across domains"
+            (Some sweep_span.Span.id) k.Span.parent)
+        kernels;
+      let tids = List.sort_uniq compare (List.map (fun (k : Span.span) -> k.Span.tid) kernels) in
+      Alcotest.(check bool) "kernels ran on more than one domain" true (List.length tids > 1))
+
+let test_span_trace_agreement () =
+  with_clean_slate (fun () ->
+      Span.set_enabled true;
+      let task = Task.make ~name:"obs.agree" (fun i -> i + 1) in
+      ignore (Sweep.map_array ~pool:(Pool.create ~jobs:2) task (Array.init 10 Fun.id));
+      ignore (Sweep.map_array ~pool:Pool.sequential task (Array.init 5 Fun.id));
+      let stage =
+        List.find (fun (s : Trace.stage) -> s.Trace.name = "obs.agree") (Trace.stages ())
+      in
+      let spans = Span.spans () in
+      Alcotest.(check int) "trace tasks == kernel spans" stage.Trace.tasks
+        (List.length (find_spans "obs.agree" spans));
+      Alcotest.(check int) "trace calls == sweep spans" stage.Trace.calls
+        (List.length (find_spans "sweep:obs.agree" spans));
+      let spanned_tasks =
+        List.fold_left
+          (fun acc (s : Span.span) ->
+            match List.assoc_opt "tasks" s.Span.attrs with
+            | Some (Json.Int n) -> acc + n
+            | _ -> acc)
+          0
+          (find_spans "sweep:obs.agree" spans)
+      in
+      Alcotest.(check int) "trace tasks == sweep span attrs" stage.Trace.tasks spanned_tasks)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json float fidelity" `Quick test_json_float_fidelity;
+    Alcotest.test_case "json rejects malformed input" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "histogram quantiles (uniform 1..1000)" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram degenerate shapes" `Quick test_histogram_degenerate;
+    Alcotest.test_case "counters exact across domains" `Quick test_counters_parallel;
+    Alcotest.test_case "metrics report parses back" `Quick test_metrics_json_parses;
+    Alcotest.test_case "disabled spans record nothing" `Quick test_span_disabled_is_free;
+    Alcotest.test_case "span survives exceptions" `Quick test_span_exception_still_records;
+    Alcotest.test_case "chrome trace round-trips with nesting" `Quick test_span_chrome_roundtrip;
+    Alcotest.test_case "spans cross the domain boundary" `Quick test_span_crosses_domains;
+    Alcotest.test_case "span layer agrees with Trace stages" `Quick test_span_trace_agreement;
+  ]
