@@ -57,6 +57,7 @@ let write_bench_json ~label ~jobs ~quick ~wall_s =
         ("stages", Obs.stages_json ());
         ("memo", Obs.memo_json ());
         ("metrics", Metrics.to_json ());
+        ("faults", Obs.faults_json ());
       ]
   in
   let path = "BENCH_" ^ label ^ ".json" in
@@ -75,17 +76,25 @@ let reproduce ctx ~jobs =
     (if jobs = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
   (* kernels evaluate through the engine; artefacts print in registry
-     order afterwards, so the output bytes never depend on jobs *)
-  let results = Core.Experiments.run_many ctx Core.Experiments.all in
+     order afterwards, so the output bytes never depend on jobs.
+     Partial-result mode: with --inject armed, a faulted experiment
+     prints its fault in place and its siblings still report. *)
+  let results = Core.Experiments.run_many_result ctx Core.Experiments.all in
   let wall = Unix.gettimeofday () -. t0 in
+  let faulted = ref 0 in
   List.iter
-    (fun ((e : Core.Experiments.t), artefacts) ->
+    (fun ((e : Core.Experiments.t), status) ->
       Printf.printf "\n### %s — %s (%s)\n\n" e.Core.Experiments.id
         e.Core.Experiments.title e.Core.Experiments.paper_ref;
-      Core.Report.print artefacts)
+      match status with
+      | Ok artefacts -> Core.Report.print artefacts
+      | Error fault ->
+        incr faulted;
+        Printf.printf "FAULT %s\n" (Nmcache_engine.Fault.to_string fault))
     results;
-  Printf.printf "\n[phase 1: %d experiments in %.1f s wall]\n\n"
-    (List.length results) wall;
+  Printf.printf "\n[phase 1: %d experiments in %.1f s wall%s]\n\n"
+    (List.length results) wall
+    (if !faulted = 0 then "" else Printf.sprintf ", %d faulted" !faulted);
   print_string (Nmcache_engine.Trace.summary ())
 
 (* ------------------------------------------------------------------ *)
@@ -198,6 +207,16 @@ let () =
   in
   (* --label L names the BENCH_<L>.json report (CI passes the branch) *)
   let label = string_flag "--label" "local" in
+  (* --inject SPEC arms deterministic fault injection (same grammar as
+     PPCACHE_FAULTS) for chaos benchmarking *)
+  (match string_flag "--inject" "" with
+  | "" -> ()
+  | spec -> (
+    match Nmcache_engine.Faultpoint.configure spec with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "bench: bad --inject spec: %s\n" msg;
+      exit 2));
   Nmcache_engine.Executor.set_jobs jobs;
   let ctx = if quick then Core.Context.quick () else Core.Context.default () in
   let t0 = Unix.gettimeofday () in

@@ -45,18 +45,33 @@ let metrics_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+let faults_json_arg =
+  let doc =
+    "Write the typed fault log (kind, stage, detail per fault, in canonical \
+     order) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults-json" ] ~docv:"FILE" ~doc)
+
+let fail_fast_arg =
+  let doc =
+    "Abort on the first experiment fault instead of completing the remaining \
+     experiments and reporting per-experiment status."
+  in
+  Arg.(value & flag & info [ "fail-fast" ] ~doc)
+
 (* Observability wrapper shared by the subcommands: span collection is
    enabled only when a trace file was requested (spans carry
    timestamps, so they stay out of the byte-compared experiment
    output); report files are written even if the command fails partway,
    so a crashed run still leaves its trace behind. *)
-let with_observability ~trace ~trace_json ~metrics_json f =
+let with_observability ?(faults_json = None) ~trace ~trace_json ~metrics_json f =
   if trace_json <> None then Nmcache_engine.Span.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
       if trace then print_string (Nmcache_engine.Trace.summary ());
       Option.iter (fun path -> Nmcache_engine.Obs.write_trace ~path) trace_json;
-      Option.iter (fun path -> Nmcache_engine.Obs.write_metrics ~path) metrics_json)
+      Option.iter (fun path -> Nmcache_engine.Obs.write_metrics ~path) metrics_json;
+      Option.iter (fun path -> Nmcache_engine.Obs.write_faults ~path) faults_json)
     f
 
 let context quick = if quick then Core.Context.quick () else Core.Context.default ()
@@ -74,7 +89,12 @@ let set_jobs jobs =
 
 (* --- run ------------------------------------------------------------ *)
 
-let run_experiment ids quick csv jobs trace trace_json metrics_json =
+let print_heading (e : Core.Experiments.t) =
+  Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id e.Core.Experiments.title
+    e.Core.Experiments.paper_ref
+
+let run_experiment ids quick csv jobs fail_fast trace trace_json metrics_json
+    faults_json =
   set_jobs jobs;
   let ctx = context quick in
   let targets =
@@ -90,18 +110,51 @@ let run_experiment ids quick csv jobs trace trace_json metrics_json =
             exit 2)
         ids
   in
-  with_observability ~trace ~trace_json ~metrics_json (fun () ->
-      (* kernels run (possibly in parallel) first; artefacts print in
-         registry order afterwards, so the bytes never depend on --jobs *)
+  let faulted = ref 0 in
+  let aborted = ref None in
+  with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
+      (* kernels run (possibly in parallel) first; output prints in
+         registry order afterwards, so the bytes never depend on
+         --jobs.  Fault-injection decisions are key-deterministic, so
+         that holds for faulted runs too. *)
+      match
+        if fail_fast then
+          List.map (fun (e, a) -> (e, Ok a)) (Core.Experiments.run_many ctx targets)
+        else Core.Experiments.run_many_result ctx targets
+      with
+      | exception Nmcache_engine.Fault.Fault f when fail_fast ->
+        (* caught inside the observability wrapper so the report files
+           still record the aborted run *)
+        aborted := Some f
+      | results ->
       List.iter
-        (fun ((e : Core.Experiments.t), artefacts) ->
-          if csv then print_string (Core.Report.render_csv artefacts)
-          else begin
-            Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id
-              e.Core.Experiments.title e.Core.Experiments.paper_ref;
-            Core.Report.print artefacts
-          end)
-        (Core.Experiments.run_many ctx targets))
+        (fun ((e : Core.Experiments.t), status) ->
+          match status with
+          | Ok artefacts ->
+            if csv then print_string (Core.Report.render_csv artefacts)
+            else begin
+              print_heading e;
+              Core.Report.print artefacts
+            end
+          | Error fault ->
+            incr faulted;
+            let line = Nmcache_engine.Fault.to_string fault in
+            if csv then Printf.printf "# FAULT %s: %s\n" e.Core.Experiments.id line
+            else begin
+              print_heading e;
+              Printf.printf "FAULT %s\n\n" line
+            end)
+        results);
+  (match !aborted with
+  | Some f ->
+    Printf.eprintf "ppcache: aborted on FAULT %s\n" (Nmcache_engine.Fault.to_string f);
+    exit 1
+  | None -> ());
+  if !faulted > 0 then begin
+    Printf.eprintf "ppcache: %d of %d experiments faulted\n" !faulted
+      (List.length targets);
+    exit 1
+  end
 
 let run_cmd =
   let ids =
@@ -110,11 +163,16 @@ let run_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of formatted tables.")
   in
-  let doc = "Run one or more experiments and print their tables/series." in
+  let doc =
+    "Run one or more experiments and print their tables/series.  A faulting \
+     experiment is reported in place (and in the --faults-json report) while \
+     the rest complete; the exit status is 1 if anything faulted.  Set \
+     $(b,PPCACHE_FAULTS) to inject deterministic faults."
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ trace_arg
-      $ trace_json_arg $ metrics_json_arg)
+      const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ fail_fast_arg
+      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
 
 (* --- list ------------------------------------------------------------ *)
 
@@ -132,14 +190,62 @@ let list_cmd =
 
 (* --- characterize ---------------------------------------------------- *)
 
-let characterize size_kb assoc block trace trace_json metrics_json =
+(* "LO:HI" -> (lo, hi); usage errors exit 2 with the expected shape *)
+let parse_range ~what ~unit s =
+  match String.split_on_char ':' s with
+  | [ lo; hi ] -> (
+    match (float_of_string_opt lo, float_of_string_opt hi) with
+    | Some lo, Some hi -> (lo, hi)
+    | _ ->
+      Printf.eprintf "ppcache: --%s wants LO:HI in %s, got %S\n" what unit s;
+      exit 2)
+  | _ ->
+    Printf.eprintf "ppcache: --%s wants LO:HI in %s, got %S\n" what unit s;
+    exit 2
+
+(* Characterisation bounds must stay inside the paper's knob grid —
+   the compact models are only calibrated there, and a fit over
+   garbage bounds would silently extrapolate device physics.  Exit 2
+   (usage error), not a fault: the run never started. *)
+let validate_knob_ranges (tech : Nmcache_device.Tech.t) ~vth ~tox =
+  let check what unit lo hi t_lo t_hi =
+    if hi <= lo then begin
+      Printf.eprintf "ppcache: --%s range is empty (%g:%g)\n" what lo hi;
+      exit 2
+    end;
+    if lo < t_lo || hi > t_hi then begin
+      Printf.eprintf
+        "ppcache: --%s %g:%g %s is outside the paper's %s grid (%g-%g %s); \
+         the compact models are only calibrated there\n"
+        what lo hi unit what t_lo t_hi unit;
+      exit 2
+    end
+  in
+  Option.iter (fun (lo, hi) -> check "vth" "V" lo hi tech.Nmcache_device.Tech.vth_min
+                 tech.Nmcache_device.Tech.vth_max) vth;
+  Option.iter
+    (fun (lo, hi) ->
+      check "tox" "A" lo hi
+        (Units.to_angstrom tech.Nmcache_device.Tech.tox_min)
+        (Units.to_angstrom tech.Nmcache_device.Tech.tox_max))
+    tox
+
+let characterize size_kb assoc block vth tox trace trace_json metrics_json =
+  let tech = Nmcache_device.Tech.bptm65 in
+  let vth = Option.map (parse_range ~what:"vth" ~unit:"volts") vth in
+  let tox = Option.map (parse_range ~what:"tox" ~unit:"angstrom") tox in
+  validate_knob_ranges tech ~vth ~tox;
   with_observability ~trace ~trace_json ~metrics_json (fun () ->
-      let tech = Nmcache_device.Tech.bptm65 in
       let config = Config.make ~size_bytes:(size_kb * 1024) ~assoc ~block_bytes:block () in
       let model = Cache_model.make tech config in
       let fitted =
         Nmcache_engine.Span.with_span "characterize" (fun () ->
-            Fitted_cache.characterize_and_fit model)
+            Fitted_cache.characterize_and_fit ?vth_range:vth
+              ?tox_range:
+                (Option.map
+                   (fun (lo, hi) -> (Units.angstrom lo, Units.angstrom hi))
+                   tox)
+              model)
       in
       Format.printf "cache %a, %a@." Config.pp config Nmcache_geometry.Org.pp
         (Cache_model.org model);
@@ -160,11 +266,29 @@ let characterize_cmd =
   let size = Arg.(value & opt int 16 & info [ "size" ] ~docv:"KB" ~doc:"Capacity in KB.") in
   let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity.") in
   let block = Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.") in
+  let vth =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vth" ] ~docv:"LO:HI"
+          ~doc:
+            "Vth characterisation range in volts; must lie within the paper's \
+             0.2-0.5 V grid.")
+  in
+  let tox =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tox" ] ~docv:"LO:HI"
+          ~doc:
+            "Tox characterisation range in angstrom; must lie within the paper's \
+             10-14 A grid.")
+  in
   let doc = "Characterise a cache over the knob grid and print the fitted compact models." in
   Cmd.v (Cmd.info "characterize" ~doc)
     Term.(
-      const characterize $ size $ assoc $ block $ trace_arg $ trace_json_arg
-      $ metrics_json_arg)
+      const characterize $ size $ assoc $ block $ vth $ tox $ trace_arg
+      $ trace_json_arg $ metrics_json_arg)
 
 (* --- simulate --------------------------------------------------------- *)
 
@@ -220,4 +344,12 @@ let main =
   Cmd.group (Cmd.info "ppcache" ~version:"1.0.0" ~doc)
     [ run_cmd; list_cmd; characterize_cmd; simulate_cmd; workloads_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* arm deterministic fault injection before any subcommand runs; a
+     malformed spec is a usage error, not a silent no-op *)
+  (match Nmcache_engine.Faultpoint.configure_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "ppcache: bad %s spec: %s\n" Nmcache_engine.Faultpoint.env_var msg;
+    exit 2);
+  exit (Cmd.eval main)

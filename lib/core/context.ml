@@ -76,6 +76,10 @@ let fitted t config =
       t.tech.Tech.vdd (Config.describe config) config.Config.output_bits
   in
   Nmcache_engine.Memo.find_or_compute memo key (fun () ->
+      (* fault point inside the memoised compute: injection here proves
+         a failing fit never poisons the table (Pending is dropped,
+         waiters retry and fail identically, key-deterministically) *)
+      Nmcache_engine.Faultpoint.hit ~point:"context.fit" ~key;
       Nmcache_engine.Trace.with_stage "context.characterize+fit" (fun () ->
           Fitted_cache.characterize_and_fit (Cache_model.make t.tech config)))
 

@@ -125,14 +125,27 @@ let all = paper @ extensions
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids = List.map (fun e -> e.id) all
 
+(* a named span per experiment so trace viewers and the bench report
+   get per-experiment wall time without re-timing; the fault point is
+   keyed by experiment id, so chaos harnesses can fail one experiment
+   by name while its siblings complete *)
+let kernel ctx (e : t) =
+  Nmcache_engine.Faultpoint.hit ~point:"experiment" ~key:e.id;
+  Nmcache_engine.Span.with_span
+    ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
+    ("experiment:" ^ e.id)
+    (fun () -> e.run ctx)
+
+let task ctx = Nmcache_engine.Task.make ~name:"experiments.run" (fun e -> kernel ctx e)
+
 let run_many ctx exps =
-  Nmcache_engine.Sweep.map_list
-    (Nmcache_engine.Task.make ~name:"experiments.run" (fun e ->
-         (* a named span per experiment so trace viewers and the bench
-            report get per-experiment wall time without re-timing *)
-         ( e,
-           Nmcache_engine.Span.with_span
-             ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
-             ("experiment:" ^ e.id)
-             (fun () -> e.run ctx) )))
+  List.map2
+    (fun e artefacts -> (e, artefacts))
     exps
+    (Nmcache_engine.Sweep.map_list (task ctx) exps)
+
+let run_many_result ctx exps =
+  List.map2
+    (fun e status -> (e, status))
+    exps
+    (Nmcache_engine.Sweep.map_list_result (task ctx) exps)

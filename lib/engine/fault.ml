@@ -1,0 +1,87 @@
+type kind =
+  | Fit_diverged
+  | Singular_system
+  | Non_finite
+  | Out_of_domain
+  | Injected
+  | Crashed
+
+type t = {
+  kind : kind;
+  stage : string;
+  detail : string;
+}
+
+exception Fault of t
+
+let kind_name = function
+  | Fit_diverged -> "fit_diverged"
+  | Singular_system -> "singular_system"
+  | Non_finite -> "non_finite"
+  | Out_of_domain -> "out_of_domain"
+  | Injected -> "injected"
+  | Crashed -> "crashed"
+
+let kind_of_name = function
+  | "fit_diverged" -> Some Fit_diverged
+  | "singular_system" -> Some Singular_system
+  | "non_finite" -> Some Non_finite
+  | "out_of_domain" -> Some Out_of_domain
+  | "injected" -> Some Injected
+  | "crashed" -> Some Crashed
+  | _ -> None
+
+let make ~kind ~stage detail = { kind; stage; detail }
+let error ~kind ~stage detail = raise (Fault { kind; stage; detail })
+
+let to_string f =
+  Printf.sprintf "[%s] %s: %s" (kind_name f.kind) f.stage f.detail
+
+let () =
+  Printexc.register_printer (function
+    | Fault f -> Some ("Fault " ^ to_string f)
+    | _ -> None)
+
+let to_json f =
+  Json.Obj
+    [
+      ("kind", Json.String (kind_name f.kind));
+      ("stage", Json.String f.stage);
+      ("detail", Json.String f.detail);
+    ]
+
+let of_json j =
+  match
+    ( Option.bind (Json.member "kind" j) Json.to_str,
+      Option.bind (Json.member "stage" j) Json.to_str,
+      Option.bind (Json.member "detail" j) Json.to_str )
+  with
+  | Some k, Some stage, Some detail ->
+    Option.map (fun kind -> { kind; stage; detail }) (kind_of_name k)
+  | _ -> None
+
+(* classification of an escaped exception at a stage boundary; a typed
+   fault passes through untouched, anything else becomes [Crashed]
+   with the exception's (deterministic) rendering as detail *)
+let of_exn ~stage = function
+  | Fault f -> f
+  | e -> { kind = Crashed; stage; detail = Printexc.to_string e }
+
+let compare a b =
+  let c = String.compare a.stage b.stage in
+  if c <> 0 then c
+  else
+    let c = String.compare (kind_name a.kind) (kind_name b.kind) in
+    if c <> 0 then c else String.compare a.detail b.detail
+
+(* --- process-wide fault log ---------------------------------------- *)
+
+let log : t list ref = ref []
+let lock = Mutex.create ()
+
+let record f =
+  Metrics.incr "faults.recorded";
+  Mutex.protect lock (fun () -> log := f :: !log)
+
+let recorded () = Mutex.protect lock (fun () -> List.rev !log)
+let reset () = Mutex.protect lock (fun () -> log := [])

@@ -1,4 +1,6 @@
-let metrics_schema_version = 1
+(* v2: added the "faults" list (typed fault log) to the metrics report *)
+let metrics_schema_version = 2
+let faults_schema_version = 1
 
 let stages_json () =
   Json.List
@@ -30,6 +32,18 @@ let memo_json () =
            ])
        (Trace.cache_counters ()))
 
+let faults_json () =
+  (* canonical (stage, kind, detail) order: the log's append order
+     depends on domain scheduling, the report must not *)
+  Json.List (List.map Fault.to_json (List.sort Fault.compare (Fault.recorded ())))
+
+let faults_report () =
+  Json.Obj
+    [
+      ("schema_version", Json.Int faults_schema_version);
+      ("faults", faults_json ());
+    ]
+
 let metrics_report () =
   Json.Obj
     [
@@ -37,6 +51,7 @@ let metrics_report () =
       ("metrics", Metrics.to_json ());
       ("stages", stages_json ());
       ("memo", memo_json ());
+      ("faults", faults_json ());
     ]
 
 let write_json ~path json =
@@ -46,4 +61,5 @@ let write_json ~path json =
     (fun () -> output_string oc (Json.to_string_pretty json))
 
 let write_metrics ~path = write_json ~path (metrics_report ())
+let write_faults ~path = write_json ~path (faults_report ())
 let write_trace ~path = write_json ~path (Span.to_chrome_json ())

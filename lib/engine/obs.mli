@@ -8,21 +8,38 @@
     [BENCH_<label>.json] report are thin wrappers over this module. *)
 
 val metrics_schema_version : int
+(** Bumped whenever a field is added or reshaped (policy in README
+    "Robustness & fault injection"); v2 added the ["faults"] list. *)
+
+val faults_schema_version : int
 
 val metrics_report : unit -> Json.t
 (** [{ "schema_version"; "metrics": {counters,gauges,histograms};
     "stages": [{name,calls,tasks,busy_s,wall_s}];
-    "memo": [{name,hits,misses,hit_rate}] }] — stages and memo tables
-    mirror {!Trace.summary} in machine-readable form. *)
+    "memo": [{name,hits,misses,hit_rate}];
+    "faults": [{kind,stage,detail}] }] — stages and memo tables mirror
+    {!Trace.summary} in machine-readable form; faults are the {!Fault}
+    log in canonical order. *)
+
+val faults_report : unit -> Json.t
+(** [{ "schema_version"; "faults": [{kind,stage,detail}] }] — the
+    standalone fault report behind [ppcache run --faults-json]. *)
 
 val stages_json : unit -> Json.t
 val memo_json : unit -> Json.t
+
+val faults_json : unit -> Json.t
+(** Recorded faults sorted by {!Fault.compare}, so the report bytes do
+    not depend on domain scheduling. *)
 
 val write_json : path:string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
 
 val write_metrics : path:string -> unit
 (** {!metrics_report} to [path]. *)
+
+val write_faults : path:string -> unit
+(** {!faults_report} to [path]. *)
 
 val write_trace : path:string -> unit
 (** {!Span.to_chrome_json} to [path] — open in Perfetto

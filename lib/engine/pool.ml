@@ -17,16 +17,17 @@ let map_array t f arr =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let error = Atomic.make None in
+    let record_error e =
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
     (* each domain pulls the next unclaimed index; distinct indices mean
        distinct result slots, and Domain.join publishes the writes *)
     let body () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get error = None then begin
-          (try results.(i) <- Some (f arr.(i))
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set error None (Some (e, bt))));
+          (try results.(i) <- Some (f arr.(i)) with e -> record_error e);
           loop ()
         end
       in
@@ -38,12 +39,24 @@ let map_array t f arr =
     in
     let spawned = List.init (min t.jobs n - 1) (fun _ -> Domain.spawn worker) in
     (* the caller participates, flagged as a worker so nested fan-outs
-       run sequentially instead of oversubscribing *)
-    Domain.DLS.set in_worker_key true;
-    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key false) body;
-    List.iter Domain.join spawned;
+       run sequentially instead of oversubscribing; spawned domains are
+       joined in the [finally] so even a caller-side exception (an
+       asynchronous one, say — kernel failures are folded into [error])
+       cannot leak unjoined domains *)
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_worker_key false;
+        List.iter Domain.join spawned)
+      (fun () ->
+        Domain.DLS.set in_worker_key true;
+        try body () with e -> record_error e);
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+(* result mode rides on [map_array] with a kernel that cannot raise, so
+   every item is evaluated and the error short-circuit never triggers *)
+let map_array_result t f arr =
+  map_array t (fun x -> match f x with v -> Ok v | exception e -> Error e) arr

@@ -34,4 +34,12 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic output order.  The calling
     domain participates in the work.  If any kernel raises, the first
     exception (in completion order) is re-raised after all domains
-    join. *)
+    join — spawned domains are joined on every exit path, including a
+    caller-side exception. *)
+
+val map_array_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Partial-result mode: a raising kernel yields [Error] in its slot
+    while every other item is still evaluated — no short-circuit, no
+    re-raise.  Output order is input order, so for kernels whose
+    success/failure is a pure function of their input the result array
+    is identical whatever the [jobs] setting. *)

@@ -40,3 +40,23 @@ let map_array ?pool task arr =
   end
 
 let map_list ?pool task l = Array.to_list (map_array ?pool task (Array.of_list l))
+
+(* result mode: the same instrumented fan-out, with the kernel wrapped
+   so a failure settles into its own slot as a recorded fault instead
+   of aborting the sweep.  The wrapper catches before the span closes,
+   so a faulted kernel still reports its span and stage sample. *)
+let map_array_result ?pool task arr =
+  let name = Task.name task in
+  let safe =
+    Task.make ~name (fun x ->
+        match Task.kernel task x with
+        | v -> Ok v
+        | exception e ->
+          let fault = Fault.of_exn ~stage:name e in
+          Fault.record fault;
+          Error fault)
+  in
+  map_array ?pool safe arr
+
+let map_list_result ?pool task l =
+  Array.to_list (map_array_result ?pool task (Array.of_list l))

@@ -15,3 +15,15 @@ val map_array : ?pool:Pool.t -> ('a, 'b) Task.t -> 'a array -> 'b array
 (** Defaults to a pool of {!Executor.get_jobs} width. *)
 
 val map_list : ?pool:Pool.t -> ('a, 'b) Task.t -> 'a list -> 'b list
+
+val map_array_result :
+  ?pool:Pool.t -> ('a, 'b) Task.t -> 'a array -> ('b, Fault.t) result array
+(** Partial-result sweep: a failing kernel settles as [Error fault] in
+    its own slot — classified by {!Fault.of_exn} under the task's name
+    and appended to the {!Fault} log — while every other item still
+    evaluates.  For kernels whose outcome is a pure function of their
+    input (which {!Faultpoint} injection preserves by design) the
+    result array is byte-identical whatever the [jobs] setting. *)
+
+val map_list_result :
+  ?pool:Pool.t -> ('a, 'b) Task.t -> 'a list -> ('b, Fault.t) result list

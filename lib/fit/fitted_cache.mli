@@ -18,14 +18,33 @@ type component_model = {
 type t
 
 val characterize_and_fit :
-  ?vth_steps:int -> ?tox_steps:int -> Nmcache_geometry.Cache_model.t -> t
-(** Sweep each component over the legal knob ranges ([vth_steps]+1 ×
-    [tox_steps]+1 points, defaults 6 and 4) and fit the compact models.
-    This is the expensive step; everything downstream is closed-form. *)
+  ?vth_steps:int ->
+  ?tox_steps:int ->
+  ?vth_range:float * float ->
+  ?tox_range:float * float ->
+  Nmcache_geometry.Cache_model.t ->
+  t
+(** Sweep each component over the knob ranges ([vth_steps]+1 ×
+    [tox_steps]+1 points, defaults 6 and 4; ranges default to the
+    technology's legal bounds) and fit the compact models.  This is
+    the expensive step; everything downstream is closed-form.  The
+    ranges are remembered: evaluating the fitted models outside them
+    raises an [Out_of_domain] {!Nmcache_engine.Fault.Fault}.  Raises
+    [Invalid_argument] on an empty range. *)
 
 val circuit_model : t -> Nmcache_geometry.Cache_model.t
 val component : t -> Nmcache_geometry.Component.kind -> component_model
 val components : t -> component_model list
+
+val vth_range : t -> float * float
+val tox_range : t -> float * float
+(** The (Vth [V], Tox [m]) box the fits were characterised over. *)
+
+val check_domain : t -> Nmcache_geometry.Component.knob -> unit
+(** Raise an [Out_of_domain] {!Nmcache_engine.Fault.Fault} (stage
+    [model.eval]) if the knob lies outside the fitted box, beyond a
+    1e-6-of-range epsilon that absorbs grid-endpoint float drift.
+    Called by every fitted evaluation below. *)
 
 val leak_of : t -> Nmcache_geometry.Component.kind -> Nmcache_geometry.Component.knob -> float
 (** Fitted leakage of one component [W]. *)

@@ -6,15 +6,57 @@ module Lm = Nmcache_numerics.Lm
 module Stats = Nmcache_numerics.Stats
 module Minimize = Nmcache_numerics.Minimize
 module Metrics = Nmcache_engine.Metrics
+module Fault = Nmcache_engine.Fault
+module Faultpoint = Nmcache_engine.Faultpoint
 
 type samples = (Component.knob * Component.summary) array
 
+(* A deterministic fingerprint of a sample set: enough to tell fits of
+   different components/configs apart in fault-point keys and fault
+   details, stable across runs and --jobs settings. *)
+let samples_key (samples : samples) =
+  let n = Array.length samples in
+  if n = 0 then "n=0"
+  else
+    let (k0 : Component.knob), (s0 : Component.summary) = samples.(0) in
+    let _, (sn : Component.summary) = samples.(n - 1) in
+    Printf.sprintf "n=%d:vth0=%.3f:tox0=%.1f:leak0=%.4e:delayN=%.4e" n
+      k0.Component.vth
+      (Units.to_angstrom k0.Component.tox)
+      s0.Component.leak_w sn.Component.delay
+
+(* Fault boundary for one compact-model fit: the armed fault point
+   fires first (chaos harness), then numeric failures escaping the
+   solvers are mapped into typed faults instead of raw exceptions. *)
+let fit_boundary ~stage ~key f =
+  Faultpoint.hit ~point:stage ~key;
+  try f () with
+  | Linsolve.Singular ->
+    Fault.error ~kind:Fault.Singular_system ~stage
+      ("linear system singular for samples " ^ key)
+  | Lm.Non_finite msg ->
+    Fault.error ~kind:Fault.Non_finite ~stage
+      (Printf.sprintf "%s (samples %s)" msg key)
+
+let check_model_finite ~stage ~key params =
+  if not (List.for_all Float.is_finite params) then
+    Fault.error ~kind:Fault.Non_finite ~stage
+      ("fitted parameters non-finite for samples " ^ key)
+
 (* One metrics sample per LM fit: iteration count, final residual and
    fit quality, labelled by which compact model was being fitted.
-   Fits are coarse (milliseconds), so the registry update is noise. *)
-let record_lm ~model (result : Lm.result) (quality : Model.quality) =
+   Fits are coarse (milliseconds), so the registry update is noise.
+   A fit that is still unconverged after the multi-start retries is
+   degraded, not fatal: the model is returned (the caller sees its
+   quality numbers) and a Fit_diverged fault is recorded. *)
+let record_lm ~model ~key (result : Lm.result) (quality : Model.quality) =
   Metrics.incr "lm.fits";
-  if result.Lm.converged then Metrics.incr "lm.converged";
+  if result.Lm.converged then Metrics.incr "lm.converged"
+  else
+    Fault.record
+      (Fault.make ~kind:Fault.Fit_diverged ~stage:("fit." ^ model)
+         (Printf.sprintf "unconverged after %d iterations, residual %.3e (samples %s)"
+            result.Lm.iterations result.Lm.residual key));
   Metrics.observe "lm.iterations" (float_of_int result.Lm.iterations);
   Metrics.observe ("lm." ^ model ^ ".iterations") (float_of_int result.Lm.iterations);
   Metrics.observe ("lm." ^ model ^ ".residual") result.Lm.residual;
@@ -68,6 +110,8 @@ let leak_eval theta (xi : float array) =
 
 let fit_leak samples =
   if Array.length samples < 6 then invalid_arg "Fitter.fit_leak: too few samples";
+  let key = samples_key samples in
+  fit_boundary ~stage:"fit.leak" ~key @@ fun () ->
   let pts = unpack samples (fun s -> s.Component.leak_w) in
   (* profile the two exponents on a coarse grid *)
   let best = ref None in
@@ -91,8 +135,9 @@ let fit_leak samples =
   let ys_rel = Array.map (fun _ -> 1.0) pts in
   let f theta xi = leak_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
   let init = [| coef.(0); coef.(1); alpha_v; coef.(2); alpha_t |] in
-  let result = Lm.fit ~f ~xs ~ys:ys_rel ~init () in
+  let result = Lm.fit_robust ~f ~xs ~ys:ys_rel ~init () in
   let theta = result.Lm.params in
+  check_model_finite ~stage:"fit.leak" ~key (Array.to_list theta);
   let m =
     {
       Model.a0 = theta.(0);
@@ -110,7 +155,7 @@ let fit_leak samples =
       samples
   in
   let quality = quality_of ~actual ~predicted in
-  record_lm ~model:"leak" result quality;
+  record_lm ~model:"leak" ~key result quality;
   (m, quality)
 
 let quality_leak m samples =
@@ -145,6 +190,8 @@ let delay_eval theta (xi : float array) =
 
 let fit_delay samples =
   if Array.length samples < 5 then invalid_arg "Fitter.fit_delay: too few samples";
+  let key = samples_key samples in
+  fit_boundary ~stage:"fit.delay" ~key @@ fun () ->
   let pts = unpack samples (fun s -> s.Component.delay) in
   let best = ref None in
   let kappas = Minimize.linspace ~lo:0.2 ~hi:10.0 ~steps:49 in
@@ -160,8 +207,9 @@ let fit_delay samples =
   let ys_rel = Array.map (fun _ -> 1.0) pts in
   let f theta xi = delay_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
   let init = [| coef.(0); coef.(1); kappa_v; coef.(2) |] in
-  let result = Lm.fit ~f ~xs ~ys:ys_rel ~init () in
+  let result = Lm.fit_robust ~f ~xs ~ys:ys_rel ~init () in
   let theta = result.Lm.params in
+  check_model_finite ~stage:"fit.delay" ~key (Array.to_list theta);
   let m = { Model.k0 = theta.(0); k1 = theta.(1); kappa_v = theta.(2); k2 = theta.(3) } in
   let actual = Array.map (fun (_, _, y) -> y) pts in
   let predicted =
@@ -171,7 +219,7 @@ let fit_delay samples =
       samples
   in
   let quality = quality_of ~actual ~predicted in
-  record_lm ~model:"delay" result quality;
+  record_lm ~model:"delay" ~key result quality;
   (m, quality)
 
 let quality_delay m samples =
@@ -188,10 +236,13 @@ let quality_delay m samples =
 
 let fit_energy samples =
   if Array.length samples < 2 then invalid_arg "Fitter.fit_energy: too few samples";
+  let key = samples_key samples in
+  fit_boundary ~stage:"fit.energy" ~key @@ fun () ->
   let pts = unpack samples (fun s -> s.Component.dyn_energy) in
   let rows = Array.map (fun (_, x, _) -> [| 1.0; x |]) pts in
   let ys = Array.map (fun (_, _, y) -> y) pts in
   let coef = Linsolve.lstsq (Matrix.of_rows rows) ys in
+  check_model_finite ~stage:"fit.energy" ~key (Array.to_list coef);
   let m = { Model.e0 = coef.(0); e1 = coef.(1) } in
   let predicted =
     Array.map

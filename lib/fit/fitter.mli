@@ -4,7 +4,19 @@
     remaining coefficients are linear, so the fitter profiles the
     exponents over a coarse grid with linear least squares inside, then
     refines all parameters with Levenberg–Marquardt.  This mirrors how
-    one extracts the paper's equations from HSPICE data. *)
+    one extracts the paper's equations from HSPICE data.
+
+    Fit failure is treated as an expected input, not an exception:
+    compact leakage models go ill-conditioned at corner regions, so
+    each fit runs behind a fault boundary.  [Linsolve.Singular] and
+    [Lm.Non_finite] escape as typed
+    {!Nmcache_engine.Fault.Fault} values ([Singular_system] /
+    [Non_finite], stage [fit.leak] / [fit.delay] / [fit.energy]); an
+    LM fit that remains unconverged after its seeded multi-start
+    retries still returns its model, recording a degraded-quality
+    [Fit_diverged] fault.  Each fit also exposes a
+    {!Nmcache_engine.Faultpoint} named after its stage, keyed by a
+    deterministic fingerprint of the sample set. *)
 
 type samples = (Nmcache_geometry.Component.knob * Nmcache_geometry.Component.summary) array
 (** The output of {!Nmcache_geometry.Cache_model.characterize}. *)

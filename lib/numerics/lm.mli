@@ -13,6 +13,11 @@ type result = {
                                 improvement dropped below tolerance *)
 }
 
+exception Non_finite of string
+(** Raised when samples or initial parameters contain NaN/Inf, or when
+    {!fit_robust} cannot produce a finite result from any start.  The
+    fit layer maps this to a typed [Non_finite] fault. *)
+
 val fit :
   ?max_iter:int ->
   ?tol:float ->
@@ -32,7 +37,30 @@ val fit :
     @param lambda0 initial damping (default 1e-3).
 
     Raises [Invalid_argument] if [xs] and [ys] have different lengths or
-    are empty. *)
+    are empty, and {!Non_finite} if any sample or initial parameter is
+    NaN/Inf. *)
+
+val fit_robust :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?lambda0:float ->
+  ?restarts:int ->
+  ?seed:int64 ->
+  f:(float array -> float array -> float) ->
+  xs:float array array ->
+  ys:float array ->
+  init:float array ->
+  unit ->
+  result
+(** {!fit} hardened with seeded multi-start: if the first fit converges
+    to a finite result it is returned unchanged (so healthy pipelines
+    are byte-for-byte unaffected); otherwise up to [restarts] (default
+    4) retries run from deterministically perturbed copies of [init]
+    (each coordinate scaled by U(0.5, 1.5) plus a small offset, drawn
+    from a generator seeded with [seed]) and the best finite-residual
+    result wins, stopping early at the first converged one.  A retry
+    that hits [Linsolve.Singular] counts as a failed start.  Raises
+    {!Non_finite} when no start produces a finite result. *)
 
 val residual_of : f:(float array -> float array -> float) ->
   xs:float array array -> ys:float array -> float array -> float

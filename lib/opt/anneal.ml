@@ -25,6 +25,10 @@ let n_components = List.length Component.all_kinds
 
 let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
   if delay_budget <= 0.0 then invalid_arg "Anneal.minimize_leakage: non-positive budget";
+  Nmcache_engine.Faultpoint.hit ~point:"anneal"
+    ~key:
+      (Printf.sprintf "seed=%Ld:iters=%d:budget=%.4e" params.seed params.iterations
+         delay_budget);
   let knobs = Grid.knobs grid in
   let n = Array.length knobs in
   let rng = Rng.create ~seed:params.seed in

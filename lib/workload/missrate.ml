@@ -41,6 +41,10 @@ let simulate ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64) ?(policy = Replacemen
       l2_assoc block (policy_key policy) seed n
   in
   Memo.find_or_compute point_cache key (fun () ->
+      (* inside the memoised compute: an injected fault exercises the
+         Pending-cleanup path (waiters retry, hit the same key-
+         deterministic fault, and fail identically at any --jobs) *)
+      Nmcache_engine.Faultpoint.hit ~point:"simulate" ~key;
       let gen = Registry.build ~seed workload in
       let l1 = Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy () in
       let l2 = Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy () in
@@ -77,6 +81,7 @@ let raw_curve ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~wor
       sizes_key
   in
   Memo.find_or_compute curve_cache key (fun () ->
+      Nmcache_engine.Faultpoint.hit ~point:"simulate" ~key;
       let gen = Registry.build ~seed workload in
       let l1 =
         Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block

@@ -117,6 +117,43 @@ let test_memo_inflight_dedup () =
     domains;
   Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed)
 
+let test_memo_exception_clears_pending () =
+  (* a failing compute must drop its Pending marker and wake waiters, so
+     a queued domain retries the compute instead of blocking forever *)
+  let memo : int Memo.t = Memo.create ~name:"test.memo-exn" () in
+  let attempts = Atomic.make 0 in
+  let release = Atomic.make false in
+  let compute () =
+    if Atomic.fetch_and_add attempts 1 = 0 then begin
+      (* first compute: hold the Pending slot until released, then fail *)
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done;
+      failwith "compute failed"
+    end
+    else 42
+  in
+  let first =
+    Domain.spawn (fun () ->
+        try
+          ignore (Memo.find_or_compute memo "k" compute);
+          false
+        with Failure _ -> true)
+  in
+  (* wait until the first compute owns the Pending marker, then queue a
+     waiter on the same key and let the compute fail under it *)
+  while Atomic.get attempts = 0 do
+    Domain.cpu_relax ()
+  done;
+  let waiter = Domain.spawn (fun () -> Memo.find_or_compute memo "k" compute) in
+  Unix.sleepf 0.02;
+  Atomic.set release true;
+  Alcotest.(check bool) "first compute raised to its caller" true (Domain.join first);
+  Alcotest.(check int) "waiter retried and succeeded" 42 (Domain.join waiter);
+  Alcotest.(check int) "exactly two computes ran" 2 (Atomic.get attempts);
+  Alcotest.(check int) "retry's value settled" 42
+    (Memo.find_or_compute memo "k" (fun () -> 0))
+
 (* --- trace --------------------------------------------------------------- *)
 
 let test_trace_summary_smoke () =
@@ -178,6 +215,8 @@ let suite =
     Alcotest.test_case "memo hit/miss accounting" `Quick test_memo_hits;
     Alcotest.test_case "memo shared across domains" `Quick test_memo_parallel_shared;
     Alcotest.test_case "memo dedups in-flight computes" `Quick test_memo_inflight_dedup;
+    Alcotest.test_case "memo exception clears pending" `Quick
+      test_memo_exception_clears_pending;
     Alcotest.test_case "trace summary smoke" `Quick test_trace_summary_smoke;
     Alcotest.test_case "executor with_jobs" `Quick test_executor_with_jobs;
     Alcotest.test_case "schemes parallel == sequential" `Slow

@@ -16,6 +16,7 @@ let () =
       ("energy", Test_energy.suite);
       ("opt", Test_opt.suite);
       ("engine", Test_engine.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
