@@ -2,7 +2,8 @@
 
    Subcommands: run (any experiment by id), list, characterize (fit the
    compact models of one cache and print them), simulate (miss rates of
-   one workload on one hierarchy), workloads. *)
+   one workload on one hierarchy), verify (differential oracles, paper
+   anchors and golden snapshot gates), workloads. *)
 
 module Units = Nmcache_physics.Units
 module Config = Nmcache_geometry.Config
@@ -327,6 +328,98 @@ let simulate_cmd =
       const simulate $ workload $ l1 $ l2 $ n $ trace_arg $ trace_json_arg
       $ metrics_json_arg)
 
+(* --- verify ----------------------------------------------------------- *)
+
+module Verify = Nmcache_verify
+
+(* Section selection: positional names; no positionals means the
+   always-on gates (oracles + anchors); golden is opt-in because it
+   reads snapshots from the working tree. *)
+let verify_sections = [ "oracles"; "anchors"; "golden" ]
+
+let verify sections quick golden_dir update_golden report_json jobs trace trace_json
+    metrics_json faults_json =
+  set_jobs jobs;
+  List.iter
+    (fun s ->
+      if not (List.mem s verify_sections) then begin
+        Printf.eprintf "ppcache: unknown verify section %S; available: %s\n" s
+          (String.concat ", " verify_sections);
+        exit 2
+      end)
+    sections;
+  let selected = match sections with [] -> [ "oracles"; "anchors" ] | s -> s in
+  let on = List.mem in
+  let ctx = context quick in
+  let checks = ref [] in
+  with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
+      (* a crashed section settles as one CRASH check via the group
+         fault boundary, so later sections still run and the report
+         stays complete *)
+      if on "oracles" selected then checks := !checks @ Verify.Oracles.all ctx;
+      if on "anchors" selected then checks := !checks @ Verify.Anchors.all ctx;
+      if on "golden" selected then
+        checks :=
+          !checks
+          @ Verify.Golden.run ~update:update_golden ~dir:golden_dir
+              (Core.Context.quick ()) ();
+      print_string (Verify.Check.render !checks);
+      Option.iter
+        (fun path ->
+          let report =
+            Nmcache_engine.Obs.verify_report ~checks:(Verify.Check.to_json !checks)
+          in
+          let oc = open_out path in
+          output_string oc (Nmcache_engine.Json.to_string report);
+          output_char oc '\n';
+          close_out oc)
+        report_json);
+  if not (Verify.Check.all_passed !checks) then exit 1
+
+let verify_cmd =
+  let sections =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SECTION"
+          ~doc:
+            "Sections to run: $(b,oracles) (differential oracles), $(b,anchors) \
+             (paper-anchor checks), $(b,golden) (snapshot byte-diffs).  Default: \
+             oracles anchors.")
+  in
+  let golden_dir =
+    Arg.(
+      value
+      & opt string "test/golden"
+      & info [ "golden-dir" ] ~docv:"DIR" ~doc:"Directory holding golden snapshots.")
+  in
+  let update_golden =
+    Arg.(
+      value & flag
+      & info [ "update-golden" ]
+          ~doc:
+            "Regenerate the golden snapshots instead of diffing them.  Commit the \
+             rewritten files together with the change that moved the numbers.")
+  in
+  let report_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-json" ] ~docv:"FILE"
+          ~doc:"Write the full check list (and fault log) as JSON to $(docv).")
+  in
+  let doc =
+    "Run the verification gates: differential oracles (brute-force references vs \
+     the production optimisers, Mattson curves vs direct simulation, compact \
+     models vs their training samples), executable paper anchors, and golden \
+     snapshot byte-diffs.  Golden checks always use the quick context so \
+     snapshots are fast and deterministic.  Exit status 1 on any failed or \
+     crashed check."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const verify $ sections $ quick_arg $ golden_dir $ update_golden $ report_json
+      $ jobs_arg $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
+
 (* --- workloads --------------------------------------------------------- *)
 
 let workloads () =
@@ -342,7 +435,7 @@ let workloads_cmd =
 let main =
   let doc = "power-performance trade-offs in nanometer-scale multi-level caches (DATE'05 reproduction)" in
   Cmd.group (Cmd.info "ppcache" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; characterize_cmd; simulate_cmd; workloads_cmd ]
+    [ run_cmd; list_cmd; characterize_cmd; simulate_cmd; verify_cmd; workloads_cmd ]
 
 let () =
   (* arm deterministic fault injection before any subcommand runs; a

@@ -53,7 +53,8 @@ let parse spec =
         | Some i -> (
           let name = String.sub entry 0 i in
           let value = String.sub entry (i + 1) (String.length entry - i - 1) in
-          if name = "seed" then
+          if name = "" then Error (Printf.sprintf "empty fault point in %S" entry)
+          else if name = "seed" then
             match Int64.of_string_opt value with
             | Some s -> go s arms rest
             | None -> Error (Printf.sprintf "seed wants an integer, got %S" value)

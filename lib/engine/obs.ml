@@ -1,6 +1,7 @@
 (* v2: added the "faults" list (typed fault log) to the metrics report *)
 let metrics_schema_version = 2
 let faults_schema_version = 1
+let verify_schema_version = 1
 
 let stages_json () =
   Json.List
@@ -41,6 +42,16 @@ let faults_report () =
   Json.Obj
     [
       ("schema_version", Json.Int faults_schema_version);
+      ("faults", faults_json ());
+    ]
+
+let verify_report ~checks =
+  Json.Obj
+    [
+      ("schema_version", Json.Int verify_schema_version);
+      ("checks", checks);
+      (* crashed checks record their fault before settling, so the
+         embedded log names every crash the checks list reports *)
       ("faults", faults_json ());
     ]
 

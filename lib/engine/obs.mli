@@ -13,6 +13,10 @@ val metrics_schema_version : int
 
 val faults_schema_version : int
 
+val verify_schema_version : int
+(** Schema of the verification report written by [ppcache verify
+    --report-json]. *)
+
 val metrics_report : unit -> Json.t
 (** [{ "schema_version"; "metrics": {counters,gauges,histograms};
     "stages": [{name,calls,tasks,busy_s,wall_s}];
@@ -24,6 +28,12 @@ val metrics_report : unit -> Json.t
 val faults_report : unit -> Json.t
 (** [{ "schema_version"; "faults": [{kind,stage,detail}] }] — the
     standalone fault report behind [ppcache run --faults-json]. *)
+
+val verify_report : checks:Json.t -> Json.t
+(** [{ "schema_version"; "checks"; "faults" }] — wraps a verification
+    subsystem's rendered check list with the report version and the
+    fault log, so a crashed check's typed fault travels in the same
+    document as its [crashed] status. *)
 
 val stages_json : unit -> Json.t
 val memo_json : unit -> Json.t

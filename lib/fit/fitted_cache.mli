@@ -36,6 +36,12 @@ val circuit_model : t -> Nmcache_geometry.Cache_model.t
 val component : t -> Nmcache_geometry.Component.kind -> component_model
 val components : t -> component_model list
 
+val samples : t -> Nmcache_geometry.Component.kind -> Fitter.samples
+(** The raw characterisation samples one component's models were fitted
+    to — retained so verification can re-evaluate the compact models
+    against their own training data ({!Fitter.quality_leak} /
+    {!Fitter.quality_delay} residual bounds). *)
+
 val vth_range : t -> float * float
 val tox_range : t -> float * float
 (** The (Vth [V], Tox [m]) box the fits were characterised over. *)

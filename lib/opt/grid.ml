@@ -42,6 +42,30 @@ let knobs t =
 
 let size t = Array.length t.vths * Array.length t.toxs
 
+let subsample t ~vths ~toxs =
+  if vths < 2 || toxs < 2 then invalid_arg "Grid.subsample: counts must be >= 2";
+  let pick arr count =
+    let n = Array.length arr in
+    if count >= n then arr
+    else
+      (* evenly-spaced indices, endpoints included; rounding can land
+         two requests on one index, so dedup keeps the result sorted *)
+      let last = ref (-1) in
+      let out = ref [] in
+      for i = 0 to count - 1 do
+        let idx =
+          int_of_float
+            (Float.round (float_of_int i *. float_of_int (n - 1) /. float_of_int (count - 1)))
+        in
+        if idx <> !last then begin
+          out := arr.(idx) :: !out;
+          last := idx
+        end
+      done;
+      Array.of_list (List.rev !out)
+  in
+  { vths = pick t.vths vths; toxs = pick t.toxs toxs }
+
 let nearest t (k : Component.knob) =
   let closest arr v =
     Array.fold_left

@@ -35,3 +35,10 @@ val size : t -> int
 
 val nearest : t -> Nmcache_geometry.Component.knob -> Nmcache_geometry.Component.knob
 (** Snap an arbitrary knob to the nearest grid point. *)
+
+val subsample : t -> vths:int -> toxs:int -> t
+(** An evenly-spaced sub-grid with at most [vths] x [toxs] points,
+    always keeping both endpoints of each axis — the downsampled search
+    space the verification oracles brute-force.  Axes shorter than the
+    request are kept whole.  Raises [Invalid_argument] when either
+    count is < 2. *)

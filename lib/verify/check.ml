@@ -1,0 +1,72 @@
+module Fault = Nmcache_engine.Fault
+module Json = Nmcache_engine.Json
+
+type status = Pass | Fail | Crashed of Fault.t
+
+type t = {
+  name : string;
+  status : status;
+  detail : string;
+}
+
+let pass ~name detail = { name; status = Pass; detail }
+let fail ~name detail = { name; status = Fail; detail }
+let check ~name ok detail = if ok then pass ~name detail else fail ~name detail
+
+let within ~name ~value ~reference ~rel_tol =
+  let scale = Float.max (Float.abs reference) epsilon_float in
+  let rel = Float.abs (value -. reference) /. scale in
+  check ~name
+    (Float.is_finite value && rel <= rel_tol)
+    (Printf.sprintf "%.6g vs %.6g (rel %.2e, tol %.0e)" value reference rel rel_tol)
+
+let group ~name f =
+  match f () with
+  | checks -> checks
+  | exception exn ->
+    let fault = Fault.of_exn ~stage:("verify." ^ name) exn in
+    Fault.record fault;
+    [ { name = name ^ ".crashed"; status = Crashed fault; detail = Fault.to_string fault } ]
+
+let passed c = c.status = Pass
+let all_passed = List.for_all passed
+
+let status_label = function Pass -> "ok   " | Fail -> "FAIL " | Crashed _ -> "CRASH"
+
+let render checks =
+  let width =
+    List.fold_left (fun acc c -> max acc (String.length c.name)) 0 checks
+  in
+  let lines =
+    List.map
+      (fun c ->
+        Printf.sprintf "%s %-*s  %s" (status_label c.status) width c.name c.detail)
+      checks
+  in
+  let count p = List.length (List.filter p checks) in
+  let failed = count (fun c -> c.status = Fail) in
+  let crashed = count (fun c -> match c.status with Crashed _ -> true | _ -> false) in
+  String.concat "\n" lines
+  ^ Printf.sprintf "\nverify: %d checks, %d failed, %d crashed\n" (List.length checks)
+      failed crashed
+
+let to_json checks =
+  Json.List
+    (List.map
+       (fun c ->
+         let base =
+           [
+             ("name", Json.String c.name);
+             ( "status",
+               Json.String
+                 (match c.status with
+                 | Pass -> "pass"
+                 | Fail -> "fail"
+                 | Crashed _ -> "crashed") );
+             ("detail", Json.String c.detail);
+           ]
+         in
+         match c.status with
+         | Crashed fault -> Json.Obj (base @ [ ("fault", Fault.to_json fault) ])
+         | Pass | Fail -> Json.Obj base)
+       checks)

@@ -1,0 +1,96 @@
+module Report = Core.Report
+
+type case = {
+  id : string;
+  describe : string;
+  render : Core.Context.t -> string;
+}
+
+let cases =
+  [
+    {
+      id = "fig1";
+      describe = "Figure 1: fixed-Vth vs fixed-Tox leakage/delay curves";
+      render = (fun ctx -> Report.render_csv (Core.Single_cache.figure1 ctx));
+    };
+    {
+      id = "schemes";
+      describe = "T1: Scheme I/II/III minimum leakage vs delay budget";
+      render = (fun ctx -> Report.render_csv (Core.Single_cache.scheme_table ctx));
+    };
+    {
+      id = "l2sweep";
+      describe = "T2: L2 sizing, one (Vth, Tox) pair per L2";
+      render = (fun ctx -> Report.render_csv (Core.Two_level.l2_single_pair ctx));
+    };
+  ]
+
+let path ~dir case = Filename.concat dir (case.id ^ ".quick.csv")
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file p contents =
+  let oc = open_out_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* line/column of the first differing byte, for an actionable failure
+   message without dumping whole CSVs into the report *)
+let first_divergence expected actual =
+  let n = min (String.length expected) (String.length actual) in
+  let i = ref 0 in
+  while !i < n && expected.[!i] = actual.[!i] do incr i done;
+  let line = ref 1 and col = ref 1 in
+  for j = 0 to !i - 1 do
+    if expected.[j] = '\n' then begin incr line; col := 1 end else incr col
+  done;
+  let excerpt s =
+    if !i >= String.length s then "<end of file>"
+    else
+      let stop = try String.index_from s !i '\n' with Not_found -> String.length s in
+      String.sub s !i (min 40 (stop - !i))
+  in
+  Printf.sprintf "first divergence at line %d, column %d: expected %S, got %S" !line !col
+    (excerpt expected) (excerpt actual)
+
+let name case = "golden." ^ case.id
+
+let check ~dir ctx case =
+  let p = path ~dir case in
+  if not (Sys.file_exists p) then
+    Check.fail ~name:(name case)
+      (Printf.sprintf "missing snapshot %s — generate it with --update-golden" p)
+  else
+    let expected = read_file p in
+    let actual = case.render ctx in
+    if String.equal expected actual then
+      Check.pass ~name:(name case)
+        (Printf.sprintf "%s matches %s (%d bytes)" case.describe p
+           (String.length actual))
+    else
+      Check.fail ~name:(name case)
+        (Printf.sprintf "%s differs from %s (%d vs %d bytes): %s" case.describe p
+           (String.length actual) (String.length expected)
+           (first_divergence expected actual))
+
+let update ~dir ctx case =
+  let p = path ~dir case in
+  let actual = case.render ctx in
+  let changed =
+    (not (Sys.file_exists p)) || not (String.equal (read_file p) actual)
+  in
+  write_file p actual;
+  Check.pass ~name:(name case)
+    (Printf.sprintf "%s %s (%d bytes)" p
+       (if changed then "updated" else "unchanged")
+       (String.length actual))
+
+let run ?update:(do_update = false) ~dir ctx () =
+  Check.group ~name:"golden" @@ fun () ->
+  let one = if do_update then update ~dir ctx else check ~dir ctx in
+  List.map one cases

@@ -1,0 +1,39 @@
+(** Golden regression gates: canonical experiment outputs snapshotted
+    on disk and byte-compared on every verify run.
+
+    Each golden case renders one experiment on the {e quick} context
+    (short traces, coarse grids — deterministic and fast) through
+    {!Core.Report.render_csv} and diffs it byte-for-byte against the
+    snapshot under the golden directory ([test/golden/<id>.quick.csv]
+    in-tree).  Any numeric drift — a model change, a refactoring that
+    reorders floating-point sums, a parallelism leak — fails the byte
+    diff before it can silently rewrite EXPERIMENTS.md.
+
+    Intentional changes regenerate snapshots with
+    [ppcache verify golden --update-golden]; the new files ride along
+    in the same commit as the change that moved them, so the diff is
+    reviewed like any other code. *)
+
+type case = {
+  id : string;            (** snapshot stem: [<id>.quick.csv] *)
+  describe : string;
+  render : Core.Context.t -> string;  (** canonical CSV, quick context *)
+}
+
+val cases : case list
+(** The canonical experiments: [fig1] (Figure 1 curves), [schemes]
+    (Scheme I/II/III table), [l2sweep] (T2 L2-sizing table). *)
+
+val path : dir:string -> case -> string
+
+val check : dir:string -> Core.Context.t -> case -> Check.t
+(** Render the case and byte-compare with its snapshot.  Fails (with a
+    first-divergence diagnostic) on mismatch, and with a pointer at
+    [--update-golden] when the snapshot is missing. *)
+
+val update : dir:string -> Core.Context.t -> case -> Check.t
+(** (Re)write the snapshot; the returned check records whether the
+    file changed. *)
+
+val run : ?update:bool -> dir:string -> Core.Context.t -> unit -> Check.t list
+(** All {!cases} through {!check} (or {!update}). *)

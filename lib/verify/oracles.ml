@@ -1,0 +1,260 @@
+module Units = Nmcache_physics.Units
+module Component = Nmcache_geometry.Component
+module Fitted_cache = Nmcache_fit.Fitted_cache
+module Fitter = Nmcache_fit.Fitter
+module Model = Nmcache_fit.Model
+module Grid = Nmcache_opt.Grid
+module Scheme = Nmcache_opt.Scheme
+module Anneal = Nmcache_opt.Anneal
+module Cache = Nmcache_cachesim.Cache
+module Mattson = Nmcache_cachesim.Mattson
+module Replacement = Nmcache_cachesim.Replacement
+module Stats = Nmcache_cachesim.Stats
+module Gen = Nmcache_workload.Gen
+module Access = Nmcache_workload.Access
+module Registry = Nmcache_workload.Registry
+module Context = Core.Context
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: exhaustive grid enumeration vs the scheme optimisers      *)
+
+(* The documented tolerances.  The DP rounds component delays UP into
+   bins, so it can be pessimistic but never beat the true optimum; the
+   annealer is stochastic-but-seeded, so it gets a looser one-sided
+   bound.  Exhaustive searches (II, III) must agree exactly. *)
+let dp_slack = 1.02
+let anneal_slack = 1.05
+let exact_tol = 1e-9
+
+(* per-component fitted leak/delay over the downsampled grid, the
+   shared substrate of reference and production searches (the oracle
+   tests the *search*, not the models — the fit oracle tests those) *)
+let tables fitted knobs =
+  let eval f =
+    Array.of_list
+      (List.map (fun kind -> Array.map (fun k -> f fitted kind k) knobs) Component.all_kinds)
+  in
+  (eval Fitted_cache.leak_of, eval Fitted_cache.delay_of)
+
+let sum4 t i0 i1 i2 i3 = t.(0).(i0) +. t.(1).(i1) +. t.(2).(i2) +. t.(3).(i3)
+
+(* brute-force minimum leakage under the budget, per scheme structure;
+   n^4 on the downsampled grid is a few 10k sums *)
+let brute_force (leak, delay) ~scheme ~delay_budget =
+  let n = Array.length leak.(0) in
+  let best = ref None in
+  let consider i0 i1 i2 i3 =
+    if sum4 delay i0 i1 i2 i3 <= delay_budget then begin
+      let l = sum4 leak i0 i1 i2 i3 in
+      match !best with Some b when b <= l -> () | _ -> best := Some l
+    end
+  in
+  (match scheme with
+  | Scheme.Uniform -> for i = 0 to n - 1 do consider i i i i done
+  | Scheme.Split ->
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        consider i j j j
+      done
+    done
+  | Scheme.Independent ->
+    for i0 = 0 to n - 1 do
+      for i1 = 0 to n - 1 do
+        for i2 = 0 to n - 1 do
+          for i3 = 0 to n - 1 do
+            consider i0 i1 i2 i3
+          done
+        done
+      done
+    done);
+  !best
+
+let budget_fractions = [ 0.1; 0.3; 0.5; 0.8 ]
+
+let scheme ctx =
+  Check.group ~name:"oracle.scheme" @@ fun () ->
+  let fitted = Context.fitted ctx (Context.l1_config ctx ()) in
+  let grid = Grid.subsample ctx.Context.grid ~vths:4 ~toxs:3 in
+  let knobs = Grid.knobs grid in
+  let t = tables fitted knobs in
+  let fast = Scheme.fastest_access_time fitted ~grid in
+  let slow = Scheme.slowest_access_time fitted ~grid in
+  List.concat_map
+    (fun frac ->
+      let budget = fast +. (frac *. (slow -. fast)) in
+      let scheme_checks s =
+        let name what =
+          Printf.sprintf "oracle.scheme.%s.%s@%.1f" what (Scheme.name s) frac
+        in
+        match
+          (brute_force t ~scheme:s ~delay_budget:budget,
+           Scheme.minimize_leakage fitted ~grid ~scheme:s ~delay_budget:budget)
+        with
+        | None, None -> [ Check.pass ~name:(name "brute-vs-opt") "both infeasible" ]
+        | Some b, None ->
+          [ Check.fail ~name:(name "brute-vs-opt")
+              (Printf.sprintf "optimizer infeasible, brute force found %.6g W" b) ]
+        | None, Some r ->
+          [ Check.fail ~name:(name "brute-vs-opt")
+              (Printf.sprintf "optimizer found %.6g W on a brute-infeasible budget"
+                 r.Scheme.leak_w) ]
+        | Some b, Some r ->
+          let budget_ok =
+            Check.check ~name:(name "budget")
+              (r.Scheme.access_time <= budget *. (1.0 +. exact_tol))
+              (Printf.sprintf "access %.6g s within budget %.6g s" r.Scheme.access_time
+                 budget)
+          in
+          let agree =
+            match s with
+            | Scheme.Independent ->
+              (* DP: delay discretisation may cost up to dp_slack, but a
+                 result *below* the enumerated optimum is a search bug *)
+              Check.check ~name:(name "brute-vs-dp")
+                (r.Scheme.leak_w >= b *. (1.0 -. exact_tol)
+                && r.Scheme.leak_w <= b *. dp_slack)
+                (Printf.sprintf "dp %.6g W vs brute %.6g W (tol [1, %.2f])"
+                   r.Scheme.leak_w b dp_slack)
+            | Scheme.Split | Scheme.Uniform ->
+              Check.within ~name:(name "brute-vs-exhaustive") ~value:r.Scheme.leak_w
+                ~reference:b ~rel_tol:exact_tol
+          in
+          [ agree; budget_ok ]
+      in
+      let anneal_checks =
+        let name what = Printf.sprintf "oracle.scheme.%s.anneal@%.1f" what frac in
+        match brute_force t ~scheme:Scheme.Independent ~delay_budget:budget with
+        | None -> []
+        | Some b ->
+          let r = Anneal.minimize_leakage fitted ~grid ~delay_budget:budget () in
+          [
+            Check.check ~name:(name "feasible") r.Anneal.feasible
+              (Printf.sprintf "best feasible state found after %d evaluations"
+                 r.Anneal.evaluations);
+            Check.check ~name:(name "brute-vs")
+              (r.Anneal.leak_w >= b *. (1.0 -. exact_tol)
+              && r.Anneal.leak_w <= b *. anneal_slack)
+              (Printf.sprintf "anneal %.6g W vs brute %.6g W (tol [1, %.2f])"
+                 r.Anneal.leak_w b anneal_slack);
+            Check.check ~name:(name "budget")
+              (r.Anneal.access_time <= budget *. (1.0 +. exact_tol))
+              (Printf.sprintf "access %.6g s within budget %.6g s" r.Anneal.access_time
+                 budget);
+          ]
+      in
+      List.concat_map scheme_checks Scheme.all @ anneal_checks)
+    budget_fractions
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: Mattson one-pass curves vs direct cache simulation        *)
+
+(* Trace length: long enough to exercise compaction and steady state,
+   short enough that verify stays interactive. *)
+let mattson_trace_len ctx = min ctx.Context.n_sim 60_000
+
+let capacities_blocks = [| 16; 64; 256; 1024 |]
+
+(* fully-associative LRU divergence tolerance for 8-way set-associative
+   caches: absolute on the miss rate, because the claim "excellent
+   approximation for >= 8 ways" is an absolute-error claim *)
+let setassoc_abs_tol = 0.03
+
+let simulate_policy trace ~block ~capacity_blocks ~assoc ~policy =
+  let cache =
+    Cache.create ~size_bytes:(capacity_blocks * block) ~assoc ~block_bytes:block ~policy ()
+  in
+  Array.iter (fun (a : Access.t) -> ignore (Cache.access cache a.Access.addr ~write:a.Access.write)) trace;
+  let st = Cache.stats cache in
+  (st.Stats.misses, Stats.miss_rate st)
+
+let mattson ctx =
+  Check.group ~name:"oracle.mattson" @@ fun () ->
+  let block = ctx.Context.block_bytes in
+  let n = mattson_trace_len ctx in
+  List.concat_map
+    (fun workload ->
+      let trace = Gen.take (Registry.build ~seed:ctx.Context.seed workload) n in
+      let profiler = Mattson.create ~block_bytes:block () in
+      Array.iter (fun (a : Access.t) -> Mattson.access profiler a.Access.addr) trace;
+      Array.to_list capacities_blocks
+      |> List.concat_map (fun cap ->
+             let m_misses = Mattson.misses_at profiler ~capacity_blocks:cap in
+             let m_rate = Mattson.miss_rate_at profiler ~capacity_blocks:cap in
+             let exact =
+               let misses, _ =
+                 simulate_policy trace ~block ~capacity_blocks:cap ~assoc:cap
+                   ~policy:Replacement.Lru
+               in
+               Check.check
+                 ~name:(Printf.sprintf "oracle.mattson.fullassoc-lru.%s.%dblk" workload cap)
+                 (misses = m_misses)
+                 (Printf.sprintf "direct %d misses vs mattson %d over %d accesses" misses
+                    m_misses n)
+             in
+             let approx =
+               List.map
+                 (fun policy ->
+                   let _, rate =
+                     simulate_policy trace ~block ~capacity_blocks:cap ~assoc:8 ~policy
+                   in
+                   let diff = Float.abs (rate -. m_rate) in
+                   Check.check
+                     ~name:
+                       (Printf.sprintf "oracle.mattson.8way-%s.%s.%dblk"
+                          (Replacement.name policy) workload cap)
+                     (diff <= setassoc_abs_tol)
+                     (Printf.sprintf "direct %.4f vs mattson %.4f (|diff| %.4f <= %.2f)"
+                        rate m_rate diff setassoc_abs_tol))
+                 [ Replacement.Lru; Replacement.Fifo; Replacement.Plru ]
+             in
+             exact :: approx))
+    Registry.headline
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: compact models vs their raw characterisation samples      *)
+
+let min_r2 = 0.90
+let max_rel_bound = 0.60
+let quality_repro_tol = 1e-9
+
+let fit ctx =
+  Check.group ~name:"oracle.fit" @@ fun () ->
+  List.concat_map
+    (fun (level, config) ->
+      let fitted = Context.fitted ctx config in
+      List.concat_map
+        (fun (cm : Fitted_cache.component_model) ->
+          let kind = Component.kind_name cm.Fitted_cache.kind in
+          let samples = Fitted_cache.samples fitted cm.Fitted_cache.kind in
+          let name what = Printf.sprintf "oracle.fit.%s.%s.%s" level kind what in
+          let per (label, recomputed, (stored : Model.quality)) =
+            [
+              (* re-evaluating the model over the raw samples must land
+                 exactly on the quality the fitter reported — a drifted
+                 fast path would show up here first *)
+              Check.within ~name:(name (label ^ ".r2-reproduced"))
+                ~value:recomputed.Model.r2 ~reference:stored.Model.r2
+                ~rel_tol:quality_repro_tol;
+              Check.check
+                ~name:(name (label ^ ".r2-bound"))
+                (recomputed.Model.r2 >= min_r2)
+                (Printf.sprintf "r2 %.4f >= %.2f over %d samples" recomputed.Model.r2
+                   min_r2 (Array.length samples));
+              Check.check
+                ~name:(name (label ^ ".max-rel-bound"))
+                (recomputed.Model.max_rel <= max_rel_bound)
+                (Printf.sprintf "max relative residual %.4f <= %.2f"
+                   recomputed.Model.max_rel max_rel_bound);
+            ]
+          in
+          List.concat_map per
+            [
+              ("leak", Fitter.quality_leak cm.Fitted_cache.leak samples,
+               cm.Fitted_cache.leak_quality);
+              ("delay", Fitter.quality_delay cm.Fitted_cache.delay samples,
+               cm.Fitted_cache.delay_quality);
+            ])
+        (Fitted_cache.components fitted))
+    [ ("l1", Context.l1_config ctx ()); ("l2", Context.l2_config ctx ()) ]
+
+let all ctx = scheme ctx @ mattson ctx @ fit ctx

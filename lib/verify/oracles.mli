@@ -1,0 +1,33 @@
+(** Differential oracles: independent reference implementations the
+    production hot paths must agree with.
+
+    Three cross-checks, each pairing an optimised implementation with a
+    brute-force or first-principles reference:
+
+    - {!scheme}: exhaustive (Vth, Tox)-grid enumeration on a
+      downsampled grid vs the production optimisers — the Scheme II/III
+      exhaustive searches must match the enumerated optimum exactly,
+      the Scheme I dynamic program within its documented delay-rounding
+      pessimism (≤ 2% above, never below), and the annealer within 5%
+      above the optimum while meeting the budget;
+    - {!mattson}: the one-pass stack-distance profiler vs direct
+      {!Nmcache_cachesim.Cache} simulation — exact equality against
+      fully-associative LRU at every probed capacity, bounded
+      divergence against 8-way set-associative LRU/FIFO/PLRU (the
+      approximation the miss-rate tables lean on);
+    - {!fit}: the fitted compact models re-evaluated against the raw
+      characterisation samples they were trained on — recomputed
+      quality must reproduce the stored quality exactly and respect
+      per-component residual bounds (R² ≥ 0.90, max relative residual
+      ≤ 60%).
+
+    All checks are deterministic for a fixed context (seeded traces,
+    fixed grids) and independent of [--jobs]. *)
+
+val scheme : Core.Context.t -> Check.t list
+val mattson : Core.Context.t -> Check.t list
+val fit : Core.Context.t -> Check.t list
+
+val all : Core.Context.t -> Check.t list
+(** The three oracles, each behind its own {!Check.group} fault
+    boundary, in the order above. *)

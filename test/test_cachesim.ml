@@ -236,7 +236,7 @@ let test_miss_rates () =
 (* A reference LRU model (association list) against the real cache. *)
 let prop_lru_against_reference =
   QCheck.Test.make ~count:30 ~name:"set-associative LRU vs reference model"
-    QCheck.(int_bound 10_000)
+    Generators.trace_seed_arb
     (fun seed ->
       let assoc = 4 and sets = 8 and block = 64 in
       let c =
@@ -261,6 +261,31 @@ let prop_lru_against_reference =
       done;
       !ok)
 
+(* Random valid geometries (shared generator): the counters must stay
+   internally consistent whatever the shape. *)
+let prop_stats_bookkeeping =
+  QCheck.Test.make ~count:30 ~name:"stats bookkeeping on random geometries"
+    QCheck.(pair Generators.geometry_arb Generators.trace_seed_arb)
+    (fun ((size, assoc, block), seed) ->
+      let c =
+        Cache.create ~size_bytes:size ~assoc ~block_bytes:block
+          ~policy:Replacement.Lru ()
+      in
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let n = 2_000 in
+      for _ = 1 to n do
+        ignore
+          (Cache.access c
+             (block * Rng.int rng ~bound:4096)
+             ~write:(Rng.int rng ~bound:4 = 0))
+      done;
+      let st = Cache.stats c in
+      st.Stats.accesses = n
+      && st.Stats.hits + st.Stats.misses = n
+      && st.Stats.read_accesses + st.Stats.write_accesses = n
+      && st.Stats.cold_misses <= st.Stats.misses
+      && st.Stats.evictions <= st.Stats.misses)
+
 let suite =
   [
     Alcotest.test_case "address arithmetic" `Quick test_address;
@@ -282,4 +307,4 @@ let suite =
     Alcotest.test_case "hierarchy validation" `Quick test_hierarchy_validation;
     Alcotest.test_case "miss rates" `Quick test_miss_rates;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_lru_against_reference ]
+  @ List.map Generators.to_alcotest [ prop_lru_against_reference; prop_stats_bookkeeping ]

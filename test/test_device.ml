@@ -14,11 +14,7 @@ let w = Units.um 1.0
 
 let nmos ~vth ~tox_a = Mosfet.nmos tech ~w ~vth ~tox:(Units.angstrom tox_a)
 
-let knob_gen =
-  QCheck.Gen.(
-    pair (float_range tech.Tech.vth_min tech.Tech.vth_max) (float_range 10.0 14.0))
-
-let knob_arb = QCheck.make ~print:(fun (v, t) -> Printf.sprintf "(%.3fV,%.2fA)" v t) knob_gen
+let knob_arb = Generators.knob_arb
 
 let test_subthreshold_swing () =
   (* per decade of subthreshold current: n vT ln10 *)
@@ -155,7 +151,7 @@ let prop_fo4_increasing =
       > Drive.fo4_delay tech ~vth ~tox:(Units.angstrom tox_a))
 
 let qcheck =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Generators.to_alcotest
     [
       prop_sub_decreasing_in_vth;
       prop_gate_decreasing_in_tox;

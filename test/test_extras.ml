@@ -142,7 +142,7 @@ let test_prefetch_zero_degree_is_plain () =
 
 let prop_prefetch_degree0_equals_hierarchy =
   QCheck.Test.make ~count:20 ~name:"degree-0 prefetcher behaves as the plain hierarchy"
-    QCheck.(int_bound 10_000)
+    Generators.trace_seed_arb
     (fun seed ->
       let rng = Rng.create ~seed:(Int64.of_int seed) in
       let trace = Array.init 3_000 (fun _ -> 64 * Rng.int rng ~bound:1024) in
@@ -199,4 +199,4 @@ let suite =
     Alcotest.test_case "phased deterministic" `Quick test_phased_deterministic;
     Alcotest.test_case "phased validation" `Quick test_phased_validation;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_prefetch_degree0_equals_hierarchy ]
+  @ List.map Generators.to_alcotest [ prop_prefetch_degree0_equals_hierarchy ]

@@ -114,7 +114,50 @@ let test_spec_parsing () =
         Alcotest.(check bool)
           ("rejected spec leaves previous arming: " ^ bad)
           true (Faultpoint.active ()))
-    [ "simulate:banana"; "simulate:1.5"; "simulate:-0.25"; "seed:pi"; "=key" ]
+    [
+      "simulate:banana";
+      "simulate:1.5";
+      "simulate:-0.25";
+      "seed:pi";
+      "=key";
+      ":0.5" (* a probability arm still needs a point name *);
+      "experiment=schemes,:1.0" (* ...also when hiding behind a valid entry *);
+    ]
+
+let test_spec_arm_semantics () =
+  Fun.protect ~finally:Faultpoint.clear @@ fun () ->
+  let fires spec ~point ~key =
+    (match Faultpoint.configure spec with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg);
+    Faultpoint.should_fire ~point ~key
+  in
+  Alcotest.(check bool) "p:0 never fires" false
+    (fires "simulate:0.0" ~point:"simulate" ~key:"anything");
+  Alcotest.(check bool) "p:1 always fires" true
+    (fires "simulate:1.0" ~point:"simulate" ~key:"anything");
+  Alcotest.(check bool) "key arm misses other keys" false
+    (fires "experiment=schemes" ~point:"experiment" ~key:"fig1");
+  (* duplicate points OR together: each arm gets its own trigger *)
+  Alcotest.(check bool) "duplicate keyed arms, first key" true
+    (fires "experiment=schemes,experiment=fig1" ~point:"experiment" ~key:"schemes");
+  Alcotest.(check bool) "duplicate keyed arms, second key" true
+    (fires "experiment=schemes,experiment=fig1" ~point:"experiment" ~key:"fig1");
+  Alcotest.(check bool) "duplicate keyed arms, absent key" false
+    (fires "experiment=schemes,experiment=fig1" ~point:"experiment" ~key:"l2sweep");
+  Alcotest.(check bool) "always-arm duplicate overrides a keyed miss" true
+    (fires "experiment=schemes,experiment" ~point:"experiment" ~key:"l2sweep");
+  (* later seed entries rebind the draw stream for probability arms *)
+  let with_seed s =
+    (match Faultpoint.configure (Printf.sprintf "seed:%d,simulate:0.5" s) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg);
+    List.init 64 (fun i ->
+        Faultpoint.should_fire ~point:"simulate" ~key:(string_of_int i))
+  in
+  let a = with_seed 1 and b = with_seed 1 and c = with_seed 2 in
+  Alcotest.(check bool) "same seed, same draws" true (a = b);
+  Alcotest.(check bool) "different seed, different draws" true (a <> c)
 
 let test_env_configuration () =
   Fun.protect
@@ -424,6 +467,7 @@ let suite =
     Alcotest.test_case "of_exn classification" `Quick test_of_exn_classification;
     Alcotest.test_case "fault log canonical order" `Quick test_fault_log_canonical_order;
     Alcotest.test_case "faultpoint spec parsing" `Quick test_spec_parsing;
+    Alcotest.test_case "faultpoint arm semantics" `Quick test_spec_arm_semantics;
     Alcotest.test_case "faultpoint env configuration" `Quick test_env_configuration;
     Alcotest.test_case "injection is key-deterministic" `Quick test_injection_determinism;
     Alcotest.test_case "injection arms" `Quick test_injection_arms;

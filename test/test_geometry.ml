@@ -164,10 +164,7 @@ let test_characterize_shape () =
   Alcotest.(check bool) "vth-major" true
     (k0.Component.vth = k1.Component.vth && k0.Component.tox < k1.Component.tox)
 
-let knob_arb =
-  QCheck.make
-    ~print:(fun (v, t) -> Printf.sprintf "(%.3f, %.2fA)" v t)
-    QCheck.Gen.(pair (float_range 0.2 0.48) (float_range 10.0 13.8))
+let knob_arb = Generators.interior_knob_arb
 
 (* Leakage is only *nearly* monotone in the knobs: past Vth ~0.42 with
    thick Tox, subthreshold current is already negligible and the paper's
@@ -228,4 +225,4 @@ let suite =
     Alcotest.test_case "assignment accessors" `Quick test_assignment_accessors;
     Alcotest.test_case "kind name roundtrip" `Quick test_kind_roundtrip;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_model_monotone ]
+  @ List.map Generators.to_alcotest [ prop_model_monotone ]

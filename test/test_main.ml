@@ -21,5 +21,6 @@ let () =
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
       ("extras", Test_extras.suite);
+      ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
     ]

@@ -7,6 +7,9 @@ module Cache = Nmcache_cachesim.Cache
 module Replacement = Nmcache_cachesim.Replacement
 module Stats = Nmcache_cachesim.Stats
 module Rng = Nmcache_numerics.Rng
+module Gen = Nmcache_workload.Gen
+module Access = Nmcache_workload.Access
+module Registry = Nmcache_workload.Registry
 
 let test_simple_distances () =
   let m = Mattson.create ~block_bytes:64 () in
@@ -88,7 +91,7 @@ let test_compaction () =
 (* Property: Mattson misses = direct fully-associative LRU simulation. *)
 let prop_matches_fullassoc_lru =
   QCheck.Test.make ~count:25 ~name:"Mattson = fully-associative LRU simulation"
-    QCheck.(pair (int_bound 100_000) (int_range 1 6))
+    Generators.mattson_case_arb
     (fun (seed, log_cap) ->
       let capacity = 1 lsl log_cap in
       let m = Mattson.create ~block_bytes:64 () in
@@ -106,6 +109,22 @@ let prop_matches_fullassoc_lru =
         Mattson.access m addr_mattson
       done;
       (Cache.stats cache).Stats.misses = Mattson.misses_at m ~capacity_blocks:capacity)
+
+(* Registered workloads (shared generator): the one-pass miss-ratio
+   curve must be a valid non-increasing curve on every real trace. *)
+let prop_workload_curve_monotone =
+  QCheck.Test.make ~count:8 ~name:"miss-ratio curve non-increasing on real workloads"
+    Generators.workload_arb
+    (fun name ->
+      let g = Registry.build ~seed:7L name in
+      let m = Mattson.create ~block_bytes:64 () in
+      Gen.iter g 20_000 (fun acc -> Mattson.access m acc.Access.addr);
+      let curve = Mattson.miss_ratio_curve m ~capacities:[| 4; 16; 64; 256; 1024 |] in
+      let ok = ref (Array.for_all (fun r -> r >= 0.0 && r <= 1.0) curve) in
+      for i = 0 to Array.length curve - 2 do
+        if curve.(i) < curve.(i + 1) -. 1e-12 then ok := false
+      done;
+      !ok)
 
 let test_validation () =
   Alcotest.(check bool) "bad block size" true
@@ -130,4 +149,5 @@ let suite =
     Alcotest.test_case "timestamp compaction" `Quick test_compaction;
     Alcotest.test_case "validation" `Quick test_validation;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_matches_fullassoc_lru ]
+  @ List.map Generators.to_alcotest
+      [ prop_matches_fullassoc_lru; prop_workload_curve_monotone ]

@@ -83,7 +83,7 @@ let test_lstsq_overdetermined () =
 
 let prop_solve_recovers =
   QCheck.Test.make ~count:100 ~name:"solve recovers random well-conditioned systems"
-    QCheck.(pair (int_bound 1000) small_int)
+    Generators.linsys_seed_arb
     (fun (seed, _) ->
       let rng = Rng.create ~seed:(Int64.of_int seed) in
       let n = 1 + Rng.int rng ~bound:5 in
@@ -302,7 +302,7 @@ let test_zipf_sampling_matches_pmf () =
       (Float.abs (float_of_int counts.(k) -. expected) < 0.05 *. expected)
   done
 
-let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_solve_recovers; prop_golden_unimodal ]
+let qcheck = List.map Generators.to_alcotest [ prop_solve_recovers; prop_golden_unimodal ]
 
 let suite =
   [

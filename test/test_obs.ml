@@ -72,6 +72,64 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
 
+let test_json_deep_nesting () =
+  (* the recursive-descent parser must take 512-deep structures in
+     stride, and a truncated deep structure must fail cleanly *)
+  let depth = 512 in
+  let s = String.make depth '[' ^ "7" ^ String.make depth ']' in
+  let rec unwrap v = function
+    | 0 -> Alcotest.(check bool) "innermost value" true (v = Json.Int 7)
+    | k -> (
+      match v with
+      | Json.List [ inner ] -> unwrap inner (k - 1)
+      | _ -> Alcotest.fail "expected singleton list")
+  in
+  (match Json.parse s with
+  | Ok v -> unwrap v depth
+  | Error e -> Alcotest.fail e);
+  (match Json.parse (String.make depth '[') with
+  | Ok _ -> Alcotest.fail "accepted unclosed deep nesting"
+  | Error _ -> ());
+  (* deep object nesting too *)
+  let obj = String.concat "" (List.init 64 (fun _ -> "{\"k\":")) ^ "true" ^ String.make 64 '}' in
+  match Json.parse obj with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_json_escapes () =
+  let roundtrip input expected =
+    match Json.parse input with
+    | Ok (Json.String s) -> Alcotest.(check string) input expected s
+    | Ok v -> Alcotest.failf "parsed %s to non-string %s" input (Json.to_string v)
+    | Error e -> Alcotest.failf "%s rejected: %s" input e
+  in
+  roundtrip {|"\n\t\r\b\f"|} "\n\t\r\b\012";
+  roundtrip {|"\\\"\/"|} "\\\"/";
+  (* \uXXXX decodes to UTF-8: e9 -> 2 bytes, 20ac (euro) -> 3 bytes *)
+  roundtrip "\"A\\u00e9\\u20ac\"" "A\xc3\xa9\xe2\x82\xac";
+  (* the encoder's control-char escaping must parse back to the same string *)
+  let original = "ctl\x01\x1f end" in
+  (match Json.parse (Json.to_string (Json.String original)) with
+  | Ok (Json.String s) -> Alcotest.(check string) "control chars round-trip" original s
+  | Ok _ | Error _ -> Alcotest.fail "control-char round-trip failed");
+  (* malformed escapes are rejected *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted bad escape %S" s
+      | Error _ -> ())
+    [ {|"\x41"|}; {|"\u12"|}; {|"\u12zz"|}; {|"\|} ]
+
+let test_json_nonfinite_rejected () =
+  (* JSON has no NaN/Infinity literals; the parser must not smuggle
+     them in via the number or literal paths *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v -> Alcotest.failf "accepted %S as %s" s (Json.to_string v)
+      | Error _ -> ())
+    [ "NaN"; "nan"; "Infinity"; "-Infinity"; "inf"; "-inf"; "[1, NaN]"; "{\"x\": Infinity}" ]
+
 let test_json_accessors () =
   let v = Json.parse_exn {|{"a": [1, 2.5], "b": "x"}|} in
   Alcotest.(check (option int)) "int member" (Some 1)
@@ -317,6 +375,9 @@ let suite =
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json float fidelity" `Quick test_json_float_fidelity;
     Alcotest.test_case "json rejects malformed input" `Quick test_json_parse_errors;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
+    Alcotest.test_case "json string escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json rejects non-finite literals" `Quick test_json_nonfinite_rejected;
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
     Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
     Alcotest.test_case "histogram quantiles (uniform 1..1000)" `Quick test_histogram_quantiles;

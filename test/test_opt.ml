@@ -116,14 +116,14 @@ let test_pareto_dominates () =
 
 let prop_pareto_front_invariant =
   QCheck.Test.make ~count:100 ~name:"front output satisfies is_front"
-    QCheck.(list_of_size Gen.(int_range 1 50) (pair (float_range 0.0 10.0) (float_range 0.0 10.0)))
+    Generators.point_cloud_arb
     (fun pts ->
       let front = Pareto.front ~key:(fun p -> p) pts in
       Pareto.is_front ~key:(fun p -> p) front)
 
 let prop_pareto_covers_inputs =
   QCheck.Test.make ~count:100 ~name:"every input is dominated by or on the front"
-    QCheck.(list_of_size Gen.(int_range 1 50) (pair (float_range 0.0 10.0) (float_range 0.0 10.0)))
+    Generators.point_cloud_arb
     (fun pts ->
       let front = Pareto.front ~key:(fun p -> p) pts in
       List.for_all
@@ -398,6 +398,29 @@ let test_spec_name () =
     (Tuple_problem.spec_name { Tuple_problem.n_vth = 3; n_tox = 2 });
   Alcotest.(check int) "five figure-2 specs" 5 (List.length Tuple_problem.figure2_specs)
 
+(* Random subgrids (shared generator): feasibility nests (every Scheme
+   III solution is a II solution is a I solution) and the leakage
+   ordering holds wherever two schemes are both feasible. *)
+let prop_scheme_ordering_on_subgrids =
+  QCheck.Test.make ~count:10 ~name:"scheme nesting and ordering on random subgrids"
+    Generators.grid_arb
+    (fun grid ->
+      let f = Lazy.force fitted in
+      let fast = Scheme.fastest_access_time f ~grid in
+      let slow = Scheme.slowest_access_time f ~grid in
+      let budget = fast +. (0.4 *. (slow -. fast)) in
+      let leak s =
+        Option.map
+          (fun r -> r.Scheme.leak_w)
+          (Scheme.minimize_leakage f ~grid ~scheme:s ~delay_budget:budget)
+      in
+      let le a b = a <= b *. (1.0 +. 1e-9) in
+      match (leak Scheme.Independent, leak Scheme.Split, leak Scheme.Uniform) with
+      | Some li, Some lii, Some liii -> le li lii && le lii liii
+      | Some li, Some lii, None -> le li lii
+      | Some _, None, None | None, None, None -> true
+      | _ -> false (* a more general scheme must stay feasible *))
+
 let suite =
   [
     Alcotest.test_case "grid sizes" `Quick test_grid_sizes;
@@ -428,4 +451,9 @@ let suite =
     Alcotest.test_case "tuple validation" `Quick test_tuple_validation;
     Alcotest.test_case "spec names" `Quick test_spec_name;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_pareto_front_invariant; prop_pareto_covers_inputs ]
+  @ List.map Generators.to_alcotest
+      [
+        prop_pareto_front_invariant;
+        prop_pareto_covers_inputs;
+        prop_scheme_ordering_on_subgrids;
+      ]
