@@ -27,7 +27,10 @@ module Metrics = Nmcache_engine.Metrics
 (* ------------------------------------------------------------------ *)
 (* Machine-readable bench report                                        *)
 
-let bench_schema_version = 1
+(* v2: added the "resilience" section (retry / checkpoint / deadline
+   counters), so perf-trajectory readers can spot runs whose wall time
+   was paid for by retries or rescued by resumed slots *)
+let bench_schema_version = 2
 
 (* BENCH_<label>.json: the perf-trajectory data point this run
    contributes — per-experiment wall time (from the experiment spans),
@@ -58,6 +61,7 @@ let write_bench_json ~label ~jobs ~quick ~wall_s =
         ("memo", Obs.memo_json ());
         ("metrics", Metrics.to_json ());
         ("faults", Obs.faults_json ());
+        ("resilience", Obs.resilience_json ());
       ]
   in
   let path = "BENCH_" ^ label ^ ".json" in
@@ -207,6 +211,15 @@ let () =
   in
   (* --label L names the BENCH_<L>.json report (CI passes the branch) *)
   let label = string_flag "--label" "local" in
+  (* --checkpoint DIR [--resume] journals phase-1 sweep slots like
+     `ppcache run`; the resumed-slot counts land in the report's
+     resilience section *)
+  let checkpoint = string_flag "--checkpoint" "" in
+  let resume = Array.exists (fun a -> a = "--resume") Sys.argv in
+  if checkpoint = "" && resume then begin
+    prerr_endline "bench: --resume requires --checkpoint DIR";
+    exit 2
+  end;
   (* --inject SPEC arms deterministic fault injection (same grammar as
      PPCACHE_FAULTS) for chaos benchmarking *)
   (match string_flag "--inject" "" with
@@ -221,7 +234,27 @@ let () =
   let ctx = if quick then Core.Context.quick () else Core.Context.default () in
   let t0 = Unix.gettimeofday () in
   Span.set_enabled true;
+  (* journal only phase 1 (the sweeps); microbenchmarks re-run kernels
+     thousands of times and must never be served from disk *)
+  let journal =
+    if checkpoint = "" then None
+    else begin
+      let j = Nmcache_engine.Checkpoint.open_ ~dir:checkpoint ~resume in
+      Nmcache_engine.Checkpoint.set_active (Some j);
+      Some j
+    end
+  in
   reproduce ctx ~jobs;
+  Option.iter
+    (fun j ->
+      Nmcache_engine.Checkpoint.set_active None;
+      Printf.printf "[checkpoint %s: %d replayed, %d served, %d appended]\n"
+        (Nmcache_engine.Checkpoint.path j)
+        (Nmcache_engine.Checkpoint.replayed j)
+        (Nmcache_engine.Checkpoint.served j)
+        (Nmcache_engine.Checkpoint.appended j);
+      Nmcache_engine.Checkpoint.close j)
+    journal;
   write_bench_json ~label ~jobs ~quick ~wall_s:(Unix.gettimeofday () -. t0);
   (* microbenchmarks measure single-kernel latency: keep them off the
      domain pool — and stop collecting spans, bechamel would record

@@ -60,6 +60,85 @@ let fail_fast_arg =
   in
   Arg.(value & flag & info [ "fail-fast" ] ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Journal completed sweep slots to $(docv)/journal.ppck (append-only, \
+     CRC-guarded) so an interrupted run can be resumed with $(b,--resume).  \
+     Keyed kernels (experiments, miss-rate curves and sweeps) are journaled; \
+     a crash costs at most the record being written."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Replay the $(b,--checkpoint) journal before running: completed slots are \
+     served from disk instead of recomputed, corrupt tails are truncated and \
+     recomputed, and the output stays byte-identical to an uninterrupted run \
+     at any $(b,--jobs)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let retries_arg =
+  let doc =
+    "Attempt budget for transient faults (injected, fit_diverged) at the \
+     fit/anneal/simulate retry boundaries, with deterministic seeded \
+     exponential backoff; $(b,1) disables retries."
+  in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Cooperative per-kernel budget in seconds: a kernel that overruns it \
+     (observed at the LM / annealer / cachesim poll points) becomes a typed \
+     $(b,timed_out) fault in its own slot instead of a hung run.  0 fires on \
+     the first poll."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let set_resilience ~retries ~deadline =
+  if retries < 1 then begin
+    Printf.eprintf "ppcache: --retries must be >= 1\n";
+    exit 2
+  end;
+  Nmcache_engine.Retry.set_max_attempts retries;
+  match deadline with
+  | Some d when d < 0.0 ->
+    Printf.eprintf "ppcache: --deadline must be >= 0\n";
+    exit 2
+  | d -> Nmcache_engine.Deadline.set_default d
+
+(* Arm the checkpoint journal around a command body.  The summary goes
+   to stderr — stdout is byte-compared against uninterrupted runs — and
+   the journal is closed before any exit-code decision runs (exit does
+   not unwind Fun.protect). *)
+let with_checkpoint ~checkpoint ~resume f =
+  let module C = Nmcache_engine.Checkpoint in
+  match (checkpoint, resume) with
+  | None, true ->
+    Printf.eprintf "ppcache: --resume requires --checkpoint DIR\n";
+    exit 2
+  | None, false -> f ()
+  | Some dir, resume ->
+    let j = C.open_ ~dir ~resume in
+    C.set_active (Some j);
+    Fun.protect
+      ~finally:(fun () ->
+        C.set_active None;
+        Printf.eprintf "ppcache: checkpoint %s: %d replayed, %d served, %d appended%s\n%!"
+          (C.path j) (C.replayed j) (C.served j) (C.appended j)
+          (if C.dropped_tail j then " (corrupt tail dropped)" else "");
+        C.close j)
+      f
+
+(* Usage-error boundary: bad geometry/arguments surface as
+   Invalid_argument from the constructors — render the message with a
+   usage hint and exit 2, like every other bad-argument path. *)
+let usage_guard f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "ppcache: %s\nppcache: exiting 2 (usage); see --help\n" msg;
+    exit 2
+
 (* Observability wrapper shared by the subcommands: span collection is
    enabled only when a trace file was requested (spans carry
    timestamps, so they stay out of the byte-compared experiment
@@ -94,9 +173,10 @@ let print_heading (e : Core.Experiments.t) =
   Printf.printf "### %s — %s (%s)\n\n" e.Core.Experiments.id e.Core.Experiments.title
     e.Core.Experiments.paper_ref
 
-let run_experiment ids quick csv jobs fail_fast trace trace_json metrics_json
-    faults_json =
+let run_experiment ids quick csv jobs fail_fast checkpoint resume retries deadline
+    trace trace_json metrics_json faults_json =
   set_jobs jobs;
+  set_resilience ~retries ~deadline;
   let ctx = context quick in
   let targets =
     match ids with
@@ -113,6 +193,7 @@ let run_experiment ids quick csv jobs fail_fast trace trace_json metrics_json
   in
   let faulted = ref 0 in
   let aborted = ref None in
+  with_checkpoint ~checkpoint ~resume (fun () ->
   with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
       (* kernels run (possibly in parallel) first; output prints in
          registry order afterwards, so the bytes never depend on
@@ -145,7 +226,7 @@ let run_experiment ids quick csv jobs fail_fast trace trace_json metrics_json
               print_heading e;
               Printf.printf "FAULT %s\n\n" line
             end)
-        results);
+        results));
   (match !aborted with
   | Some f ->
     Printf.eprintf "ppcache: aborted on FAULT %s\n" (Nmcache_engine.Fault.to_string f);
@@ -173,6 +254,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ fail_fast_arg
+      $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
       $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
 
 (* --- list ------------------------------------------------------------ *)
@@ -231,11 +313,21 @@ let validate_knob_ranges (tech : Nmcache_device.Tech.t) ~vth ~tox =
         (Units.to_angstrom tech.Nmcache_device.Tech.tox_max))
     tox
 
+let require_positive what v =
+  if v <= 0 then begin
+    Printf.eprintf "ppcache: --%s must be > 0, got %d\n" what v;
+    exit 2
+  end
+
 let characterize size_kb assoc block vth tox trace trace_json metrics_json =
   let tech = Nmcache_device.Tech.bptm65 in
+  require_positive "size" size_kb;
+  require_positive "assoc" assoc;
+  require_positive "block" block;
   let vth = Option.map (parse_range ~what:"vth" ~unit:"volts") vth in
   let tox = Option.map (parse_range ~what:"tox" ~unit:"angstrom") tox in
   validate_knob_ranges tech ~vth ~tox;
+  usage_guard @@ fun () ->
   with_observability ~trace ~trace_json ~metrics_json (fun () ->
       let config = Config.make ~size_bytes:(size_kb * 1024) ~assoc ~block_bytes:block () in
       let model = Cache_model.make tech config in
@@ -301,6 +393,10 @@ let simulate workload l1_kb l2_kb n trace trace_json metrics_json =
       (String.concat ", " Registry.names);
     exit 2
   end;
+  require_positive "l1" l1_kb;
+  require_positive "l2" l2_kb;
+  require_positive "n" n;
+  usage_guard @@ fun () ->
   with_observability ~trace ~trace_json ~metrics_json (fun () ->
       let p =
         Nmcache_engine.Span.with_span
@@ -337,9 +433,10 @@ module Verify = Nmcache_verify
    reads snapshots from the working tree. *)
 let verify_sections = [ "oracles"; "anchors"; "golden" ]
 
-let verify sections quick golden_dir update_golden report_json jobs trace trace_json
-    metrics_json faults_json =
+let verify sections quick golden_dir update_golden report_json jobs checkpoint resume
+    retries deadline trace trace_json metrics_json faults_json =
   set_jobs jobs;
+  set_resilience ~retries ~deadline;
   List.iter
     (fun s ->
       if not (List.mem s verify_sections) then begin
@@ -352,6 +449,7 @@ let verify sections quick golden_dir update_golden report_json jobs trace trace_
   let on = List.mem in
   let ctx = context quick in
   let checks = ref [] in
+  with_checkpoint ~checkpoint ~resume (fun () ->
   with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
       (* a crashed section settles as one CRASH check via the group
          fault boundary, so later sections still run and the report
@@ -373,7 +471,7 @@ let verify sections quick golden_dir update_golden report_json jobs trace trace_
           output_string oc (Nmcache_engine.Json.to_string report);
           output_char oc '\n';
           close_out oc)
-        report_json);
+        report_json));
   if not (Verify.Check.all_passed !checks) then exit 1
 
 let verify_cmd =
@@ -418,7 +516,8 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const verify $ sections $ quick_arg $ golden_dir $ update_golden $ report_json
-      $ jobs_arg $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
+      $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
+      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
 
 (* --- workloads --------------------------------------------------------- *)
 
@@ -445,4 +544,8 @@ let () =
   | Error msg ->
     Printf.eprintf "ppcache: bad %s spec: %s\n" Nmcache_engine.Faultpoint.env_var msg;
     exit 2);
-  exit (Cmd.eval main)
+  (* every bad-argument path exits 2: cmdliner renders unknown flags /
+     malformed options as its cli_error (124) — fold that onto the same
+     code our own validators use *)
+  let code = Cmd.eval main in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

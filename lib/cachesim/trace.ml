@@ -15,10 +15,22 @@ let length = Array.length
 let get t i = t.(i)
 let iter t f = Array.iter f t
 
-let replay t cache = iter t (fun e -> ignore (Cache.access cache e.addr ~write:e.write))
+(* replay loops carry the engine's cooperative deadline seam: one poll
+   every 4096 accesses converts a wedged replay into a typed
+   [timed_out] fault without measurable overhead *)
+let replay t cache =
+  Array.iteri
+    (fun i e ->
+      if i land 4095 = 4095 then Nmcache_engine.Deadline.poll ~stage:"cachesim.replay";
+      ignore (Cache.access cache e.addr ~write:e.write))
+    t
 
 let replay_hierarchy t h =
-  iter t (fun e -> ignore (Hierarchy.access h e.addr ~write:e.write))
+  Array.iteri
+    (fun i e ->
+      if i land 4095 = 4095 then Nmcache_engine.Deadline.poll ~stage:"cachesim.replay";
+      ignore (Hierarchy.access h e.addr ~write:e.write))
+    t
 
 type stats = {
   accesses : int;

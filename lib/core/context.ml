@@ -52,6 +52,22 @@ let quick () =
     coarse_grid = Grid.coarse tech;
   }
 
+(* A stable fingerprint of every context field that can change an
+   experiment's numbers — the checkpoint layer folds it into slot keys
+   so a journal written under one context is never served under
+   another (quick vs default, different seeds, grids, workloads…). *)
+let fingerprint t =
+  Printf.sprintf "%s:%.1fK:%.2fV:l1=%d/%d:l2=%d/%d:b%d:out%d:w=%s:seed=%Ld:n=%d:g=%dx%d:cg=%dx%d:mem=%.2e"
+    t.tech.Tech.name t.tech.Tech.temp_k t.tech.Tech.vdd t.l1_size t.l1_assoc t.l2_size
+    t.l2_assoc t.block_bytes t.l2_output_bits
+    (String.concat "+" t.workloads)
+    t.seed t.n_sim
+    (Array.length t.grid.Grid.vths)
+    (Array.length t.grid.Grid.toxs)
+    (Array.length t.coarse_grid.Grid.vths)
+    (Array.length t.coarse_grid.Grid.toxs)
+    t.mem.Nmcache_energy.Main_memory.e_access
+
 let l1_config t ?size () =
   Config.make
     ~size_bytes:(Option.value size ~default:t.l1_size)
@@ -79,7 +95,7 @@ let fitted t config =
       (* fault point inside the memoised compute: injection here proves
          a failing fit never poisons the table (Pending is dropped,
          waiters retry and fail identically, key-deterministically) *)
-      Nmcache_engine.Faultpoint.hit ~point:"context.fit" ~key;
+      Nmcache_engine.Faultpoint.hit ~point:"context.fit" ~key ();
       Nmcache_engine.Trace.with_stage "context.characterize+fit" (fun () ->
           Fitted_cache.characterize_and_fit (Cache_model.make t.tech config)))
 

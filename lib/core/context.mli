@@ -28,6 +28,13 @@ val default : unit -> t
 val quick : unit -> t
 (** Reduced setting for tests: 400 k-access traces, coarse grids. *)
 
+val fingerprint : t -> string
+(** A stable, human-readable digest of every field that can change an
+    experiment's numbers (tech corner, geometries, workloads, seed,
+    trace length, grid shapes, memory model).  {!Experiments.task}
+    folds it into checkpoint slot keys, so a journal recorded under one
+    context is never served into a run with different inputs. *)
+
 val l1_config : t -> ?size:int -> unit -> Nmcache_geometry.Config.t
 val l2_config : t -> ?size:int -> unit -> Nmcache_geometry.Config.t
 

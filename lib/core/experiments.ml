@@ -130,13 +130,19 @@ let ids = List.map (fun e -> e.id) all
    keyed by experiment id, so chaos harnesses can fail one experiment
    by name while its siblings complete *)
 let kernel ctx (e : t) =
-  Nmcache_engine.Faultpoint.hit ~point:"experiment" ~key:e.id;
+  Nmcache_engine.Faultpoint.hit ~point:"experiment" ~key:e.id ();
   Nmcache_engine.Span.with_span
     ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
     ("experiment:" ^ e.id)
     (fun () -> e.run ctx)
 
-let task ctx = Nmcache_engine.Task.make ~name:"experiments.run" (fun e -> kernel ctx e)
+(* the slot key joins the experiment id with the context fingerprint:
+   a checkpoint journal is only ever replayed into the run that would
+   recompute the identical artefacts *)
+let task ctx =
+  Nmcache_engine.Task.make ~name:"experiments.run"
+    ~key:(fun e -> e.id ^ "|" ^ Context.fingerprint ctx)
+    (fun e -> kernel ctx e)
 
 let run_many ctx exps =
   List.map2

@@ -5,6 +5,7 @@ type kind =
   | Out_of_domain
   | Injected
   | Crashed
+  | Timed_out
 
 type t = {
   kind : kind;
@@ -21,6 +22,7 @@ let kind_name = function
   | Out_of_domain -> "out_of_domain"
   | Injected -> "injected"
   | Crashed -> "crashed"
+  | Timed_out -> "timed_out"
 
 let kind_of_name = function
   | "fit_diverged" -> Some Fit_diverged
@@ -29,6 +31,7 @@ let kind_of_name = function
   | "out_of_domain" -> Some Out_of_domain
   | "injected" -> Some Injected
   | "crashed" -> Some Crashed
+  | "timed_out" -> Some Timed_out
   | _ -> None
 
 let make ~kind ~stage detail = { kind; stage; detail }

@@ -22,6 +22,7 @@ type kind =
   | Out_of_domain     (** model evaluated outside its fitted range *)
   | Injected          (** deterministic {!Faultpoint} injection *)
   | Crashed           (** unclassified exception at a stage boundary *)
+  | Timed_out         (** kernel exceeded its {!Deadline} budget *)
 
 type t = {
   kind : kind;

@@ -76,7 +76,15 @@ let configure spec =
     Ok ()
   | Error _ as e -> e
 
-let should_fire ~point ~key =
+let armed_seed () = Option.map (fun c -> c.seed) (Atomic.get state)
+
+(* retry semantics per arm: [Always] models a permanent fault (fires on
+   every attempt, a retry can never mask it); [Key] models a targeted
+   transient (fires on the first attempt only, so a retry boundary
+   recovers it); [Prob] redraws per attempt — the effective key gains
+   an "#aN" suffix for N > 1, keeping attempt 1 byte-compatible with
+   the pre-retry draw *)
+let should_fire ?(attempt = 1) ~point ~key () =
   match Atomic.get state with
   | None -> false
   | Some { seed; arms; _ } ->
@@ -86,12 +94,14 @@ let should_fire ~point ~key =
         &&
         match arm with
         | Always -> true
-        | Key k -> String.equal k key
-        | Prob p -> draw ~seed ~point ~key < p)
+        | Key k -> String.equal k key && attempt = 1
+        | Prob p ->
+          let key = if attempt = 1 then key else Printf.sprintf "%s#a%d" key attempt in
+          draw ~seed ~point ~key < p)
       arms
 
-let hit ~point ~key =
-  if should_fire ~point ~key then begin
+let hit ?(attempt = 1) ~point ~key () =
+  if should_fire ~attempt ~point ~key () then begin
     Metrics.incr "faults.injected";
     Fault.error ~kind:Fault.Injected ~stage:point key
   end

@@ -35,13 +35,30 @@ val clear : unit -> unit
 val active : unit -> bool
 val spec : unit -> string option
 
-val should_fire : point:string -> key:string -> bool
-(** The injection decision, without raising — exposed for tests. *)
+val should_fire : ?attempt:int -> point:string -> key:string -> unit -> bool
+(** The injection decision, without raising — exposed for tests.
 
-val hit : point:string -> key:string -> unit
+    [attempt] (default 1) is the {!Retry} attempt number evaluating the
+    hit, and selects each arm's transience model: [Always] arms fire on
+    every attempt (permanent faults a retry can never mask), [point=KEY]
+    arms fire on attempt 1 only (targeted transients a retry boundary
+    recovers), and [point:P] arms redraw per attempt — attempt [N > 1]
+    draws with the effective key ["KEY#aN"], so attempt 1 stays
+    byte-compatible with the attemptless draw. *)
+
+val hit : ?attempt:int -> point:string -> key:string -> unit -> unit
 (** Raise an [Injected] {!Fault.Fault} if [(point, key)] is armed and
-    selected; count it under [faults.injected].  A nop (one atomic
-    load) when nothing is configured. *)
+    selected on this [attempt]; count it under [faults.injected].  A
+    nop (one atomic load) when nothing is configured. *)
+
+val draw : seed:int64 -> point:string -> key:string -> float
+(** The underlying deterministic hash draw, uniform in [0, 1) — a pure
+    function of its arguments, stable across platforms and domains.
+    {!Retry} derives backoff jitter from it so chaos runs never consult
+    a wall clock in the decision path. *)
+
+val armed_seed : unit -> int64 option
+(** The seed of the armed spec, if any ([seed:N], default 0). *)
 
 val env_var : string
 (** ["PPCACHE_FAULTS"]. *)

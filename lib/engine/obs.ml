@@ -1,6 +1,10 @@
-(* v2: added the "faults" list (typed fault log) to the metrics report *)
-let metrics_schema_version = 2
-let faults_schema_version = 1
+(* v2: added the "faults" list (typed fault log) to the metrics report
+   v3: added the "resilience" section (retry / checkpoint / deadline
+   counters) *)
+let metrics_schema_version = 3
+
+(* v2: added the "resilience" section *)
+let faults_schema_version = 2
 let verify_schema_version = 1
 
 let stages_json () =
@@ -38,11 +42,37 @@ let faults_json () =
      depends on domain scheduling, the report must not *)
   Json.List (List.map Fault.to_json (List.sort Fault.compare (Fault.recorded ())))
 
+(* the resilience layer's counters in one place: how many retries ran
+   and what they rescued, what the checkpoint journal served back, and
+   whether any kernel deadline fired *)
+let resilience_json () =
+  let c = Metrics.counter_value in
+  Json.Obj
+    [
+      ( "retries",
+        Json.Obj
+          [
+            ("attempts", Json.Int (c "retry.attempts"));
+            ("recovered", Json.Int (c "retry.recovered"));
+            ("exhausted", Json.Int (c "retry.exhausted"));
+          ] );
+      ( "checkpoint",
+        Json.Obj
+          [
+            ("replayed", Json.Int (c "checkpoint.replayed"));
+            ("served", Json.Int (c "checkpoint.served"));
+            ("appended", Json.Int (c "checkpoint.appended"));
+            ("dropped_tails", Json.Int (c "checkpoint.dropped"));
+          ] );
+      ("deadline", Json.Obj [ ("fired", Json.Int (c "deadline.fired")) ]);
+    ]
+
 let faults_report () =
   Json.Obj
     [
       ("schema_version", Json.Int faults_schema_version);
       ("faults", faults_json ());
+      ("resilience", resilience_json ());
     ]
 
 let verify_report ~checks =
@@ -63,6 +93,7 @@ let metrics_report () =
       ("stages", stages_json ());
       ("memo", memo_json ());
       ("faults", faults_json ());
+      ("resilience", resilience_json ());
     ]
 
 let write_json ~path json =

@@ -9,9 +9,11 @@
 
 val metrics_schema_version : int
 (** Bumped whenever a field is added or reshaped (policy in README
-    "Robustness & fault injection"); v2 added the ["faults"] list. *)
+    "Robustness & fault injection"); v2 added the ["faults"] list, v3
+    the ["resilience"] section. *)
 
 val faults_schema_version : int
+(** v2 added the ["resilience"] section. *)
 
 val verify_schema_version : int
 (** Schema of the verification report written by [ppcache verify
@@ -41,6 +43,12 @@ val memo_json : unit -> Json.t
 val faults_json : unit -> Json.t
 (** Recorded faults sorted by {!Fault.compare}, so the report bytes do
     not depend on domain scheduling. *)
+
+val resilience_json : unit -> Json.t
+(** [{ "retries": {attempts,recovered,exhausted}; "checkpoint":
+    {replayed,served,appended,dropped_tails}; "deadline": {fired} }] —
+    the resilience layer's counters, embedded in both the metrics and
+    fault reports and in the bench report. *)
 
 val write_json : path:string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)

@@ -1,3 +1,25 @@
+(* one slot's evaluation, with the resilience plumbing applied in a
+   fixed order: serve the slot from the armed checkpoint journal if it
+   is keyed and already there; otherwise arm the default deadline
+   budget at the kernel root, compute, and journal the fresh result.
+   Serving happens *before* any deadline or fault can fire, so resumed
+   slots are immune to re-injection — which is exactly what makes a
+   crashed-then-resumed run byte-identical to an uninterrupted one. *)
+let eval_slot task x =
+  match Checkpoint.active () with
+  | None -> Deadline.with_root (fun () -> Task.kernel task x)
+  | Some journal -> (
+    match Task.slot_key task x with
+    | None -> Deadline.with_root (fun () -> Task.kernel task x)
+    | Some slot ->
+      let key = Task.name task ^ "\x00" ^ slot in
+      (match Checkpoint.lookup journal ~key with
+      | Some v -> v
+      | None ->
+        let v = Deadline.with_root (fun () -> Task.kernel task x) in
+        Checkpoint.store journal ~key v;
+        v))
+
 let map_array ?pool task arr =
   let pool = match pool with Some p -> p | None -> Executor.pool () in
   let n = Array.length arr in
@@ -21,8 +43,8 @@ let map_array ?pool task arr =
           if traced then
             Span.with_parent parent (fun () ->
                 Span.with_span ~attrs:[ ("index", Json.Int i) ] name (fun () ->
-                    Task.kernel task arr.(i)))
-          else Task.kernel task arr.(i)
+                    eval_slot task arr.(i)))
+          else eval_slot task arr.(i)
         in
         times.(i) <- Unix.gettimeofday () -. s;
         r
@@ -44,12 +66,16 @@ let map_list ?pool task l = Array.to_list (map_array ?pool task (Array.of_list l
 (* result mode: the same instrumented fan-out, with the kernel wrapped
    so a failure settles into its own slot as a recorded fault instead
    of aborting the sweep.  The wrapper catches before the span closes,
-   so a faulted kernel still reports its span and stage sample. *)
+   so a faulted kernel still reports its span and stage sample.  The
+   wrapper task itself is unkeyed — checkpoint service happens inside,
+   on the *underlying* task, so the journal stores raw slot results
+   (never [Ok]-wrapped ones) and only successes are journaled: faulted
+   slots are recomputed, and possibly recovered, on resume. *)
 let map_array_result ?pool task arr =
   let name = Task.name task in
   let safe =
     Task.make ~name (fun x ->
-        match Task.kernel task x with
+        match eval_slot task x with
         | v -> Ok v
         | exception e ->
           let fault = Fault.of_exn ~stage:name e in

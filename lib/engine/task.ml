@@ -1,10 +1,12 @@
 type ('a, 'b) t = {
   name : string;
   f : 'a -> 'b;
+  key : ('a -> string) option;
 }
 
-let make ~name f = { name; f }
+let make ~name ?key f = { name; f; key }
 let name t = t.name
 let kernel t = t.f
+let slot_key t x = Option.map (fun k -> k x) t.key
 let run t x =
   Trace.with_stage t.name (fun () -> Span.with_span t.name (fun () -> t.f x))

@@ -8,6 +8,8 @@ module Minimize = Nmcache_numerics.Minimize
 module Metrics = Nmcache_engine.Metrics
 module Fault = Nmcache_engine.Fault
 module Faultpoint = Nmcache_engine.Faultpoint
+module Retry = Nmcache_engine.Retry
+module Deadline = Nmcache_engine.Deadline
 
 type samples = (Component.knob * Component.summary) array
 
@@ -25,43 +27,68 @@ let samples_key (samples : samples) =
       (Units.to_angstrom k0.Component.tox)
       s0.Component.leak_w sn.Component.delay
 
-(* Fault boundary for one compact-model fit: the armed fault point
-   fires first (chaos harness), then numeric failures escaping the
-   solvers are mapped into typed faults instead of raw exceptions. *)
+(* Fault boundary for one compact-model fit, now a retry boundary: the
+   armed fault point fires first (chaos harness — per-attempt, so
+   transient arms recover under retry), then numeric failures escaping
+   the solvers are mapped into typed faults instead of raw exceptions.
+   Retryable faults (injected, fit_diverged) get up to the policy's
+   attempt budget with deterministic backoff before escaping. *)
 let fit_boundary ~stage ~key f =
-  Faultpoint.hit ~point:stage ~key;
-  try f () with
-  | Linsolve.Singular ->
-    Fault.error ~kind:Fault.Singular_system ~stage
-      ("linear system singular for samples " ^ key)
-  | Lm.Non_finite msg ->
-    Fault.error ~kind:Fault.Non_finite ~stage
-      (Printf.sprintf "%s (samples %s)" msg key)
+  Retry.run ~stage ~key (fun ~attempt ~last ->
+      Faultpoint.hit ~attempt ~point:stage ~key ();
+      try f ~attempt ~last with
+      | Linsolve.Singular ->
+        Fault.error ~kind:Fault.Singular_system ~stage
+          ("linear system singular for samples " ^ key)
+      | Lm.Non_finite msg ->
+        Fault.error ~kind:Fault.Non_finite ~stage
+          (Printf.sprintf "%s (samples %s)" msg key))
 
 let check_model_finite ~stage ~key params =
   if not (List.for_all Float.is_finite params) then
     Fault.error ~kind:Fault.Non_finite ~stage
       ("fitted parameters non-finite for samples " ^ key)
 
-(* One metrics sample per LM fit: iteration count, final residual and
-   fit quality, labelled by which compact model was being fitted.
-   Fits are coarse (milliseconds), so the registry update is noise.
-   A fit that is still unconverged after the multi-start retries is
-   degraded, not fatal: the model is returned (the caller sees its
-   quality numbers) and a Fit_diverged fault is recorded. *)
-let record_lm ~model ~key (result : Lm.result) (quality : Model.quality) =
+(* One metrics sample per LM *attempt*: iteration count and final
+   residual, labelled by which compact model was being fitted.  Fits
+   are coarse (milliseconds), so the registry update is noise.  With
+   retries armed, [lm.fits] counts attempts, not fit_leak/fit_delay
+   calls. *)
+let record_attempt ~model (result : Lm.result) =
   Metrics.incr "lm.fits";
-  if result.Lm.converged then Metrics.incr "lm.converged"
-  else
-    Fault.record
-      (Fault.make ~kind:Fault.Fit_diverged ~stage:("fit." ^ model)
-         (Printf.sprintf "unconverged after %d iterations, residual %.3e (samples %s)"
-            result.Lm.iterations result.Lm.residual key));
+  if result.Lm.converged then Metrics.incr "lm.converged";
   Metrics.observe "lm.iterations" (float_of_int result.Lm.iterations);
   Metrics.observe ("lm." ^ model ^ ".iterations") (float_of_int result.Lm.iterations);
-  Metrics.observe ("lm." ^ model ^ ".residual") result.Lm.residual;
+  Metrics.observe ("lm." ^ model ^ ".residual") result.Lm.residual
+
+let record_quality ~model (quality : Model.quality) =
   Metrics.observe ("fit." ^ model ^ ".r2") quality.Model.r2;
   Metrics.observe ("fit." ^ model ^ ".rms_rel") quality.Model.rms_rel
+
+(* multi-start seed per retry attempt: attempt 1 keeps the canonical
+   seed, later attempts shift it so each retry actually explores new
+   starts *)
+let retry_seed attempt = Int64.add 0x5EEDL (Int64.of_int (attempt - 1))
+
+(* Divergence policy at the retry boundary.  A fit still unconverged
+   after its internal multi-starts raises Fit_diverged — the retry
+   boundary re-fits with a shifted multi-start seed, and exhaustion is
+   counted as exhaustion (never as a recovery).  The first attempt's
+   result is stashed so the caller can degrade gracefully when every
+   attempt diverges: the *canonical first-attempt* model is recorded
+   as a Fit_diverged casualty and returned, making a run whose retries
+   never converge byte-identical (models, fault details, CSVs) to a
+   run with retries disabled.  The raised detail quotes the canonical
+   result for the same reason. *)
+let settle_lm ~model ~key ~attempt ~first (result : Lm.result) =
+  if result.Lm.converged then result
+  else begin
+    if attempt = 1 then first := Some result;
+    let canonical = match !first with Some r -> r | None -> result in
+    Fault.error ~kind:Fault.Fit_diverged ~stage:("fit." ^ model)
+      (Printf.sprintf "unconverged after %d iterations, residual %.3e (samples %s)"
+         canonical.Lm.iterations canonical.Lm.residual key)
+  end
 
 let unpack samples field =
   Array.map
@@ -111,52 +138,72 @@ let leak_eval theta (xi : float array) =
 let fit_leak samples =
   if Array.length samples < 6 then invalid_arg "Fitter.fit_leak: too few samples";
   let key = samples_key samples in
-  fit_boundary ~stage:"fit.leak" ~key @@ fun () ->
   let pts = unpack samples (fun s -> s.Component.leak_w) in
-  (* profile the two exponents on a coarse grid *)
-  let best = ref None in
-  let alpha_vs = Minimize.linspace ~lo:(-40.0) ~hi:(-5.0) ~steps:35 in
-  let alpha_ts = Minimize.linspace ~lo:(-2.4) ~hi:(-0.3) ~steps:21 in
-  Array.iter
-    (fun alpha_v ->
-      Array.iter
-        (fun alpha_t ->
-          let coef, err = leak_linear_fit pts ~alpha_v ~alpha_t in
-          match !best with
-          | Some (_, _, _, e) when e <= err -> ()
-          | _ -> best := Some (coef, alpha_v, alpha_t, err))
-        alpha_ts)
-    alpha_vs;
-  let coef, alpha_v, alpha_t, _ =
-    match !best with Some b -> b | None -> assert false
+  (* the exponent profile depends only on the samples — computed once
+     and shared across retry attempts (lazy memoises exceptions too,
+     and a Singular profile is not retryable anyway) *)
+  let profile =
+    lazy
+      ((* profile the two exponents on a coarse grid *)
+       let best = ref None in
+       let alpha_vs = Minimize.linspace ~lo:(-40.0) ~hi:(-5.0) ~steps:35 in
+       let alpha_ts = Minimize.linspace ~lo:(-2.4) ~hi:(-0.3) ~steps:21 in
+       Array.iter
+         (fun alpha_v ->
+           Array.iter
+             (fun alpha_t ->
+               let coef, err = leak_linear_fit pts ~alpha_v ~alpha_t in
+               match !best with
+               | Some (_, _, _, e) when e <= err -> ()
+               | _ -> best := Some (coef, alpha_v, alpha_t, err))
+             alpha_ts)
+         alpha_vs;
+       match !best with Some b -> b | None -> assert false)
   in
-  (* LM refinement on all five parameters, relative residuals *)
-  let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
-  let ys_rel = Array.map (fun _ -> 1.0) pts in
-  let f theta xi = leak_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
-  let init = [| coef.(0); coef.(1); alpha_v; coef.(2); alpha_t |] in
-  let result = Lm.fit_robust ~f ~xs ~ys:ys_rel ~init () in
-  let theta = result.Lm.params in
-  check_model_finite ~stage:"fit.leak" ~key (Array.to_list theta);
-  let m =
-    {
-      Model.a0 = theta.(0);
-      a1 = theta.(1);
-      alpha_v = theta.(2);
-      a2 = theta.(3);
-      alpha_t = theta.(4);
-    }
+  let first = ref None in
+  let finish (result : Lm.result) =
+    let theta = result.Lm.params in
+    check_model_finite ~stage:"fit.leak" ~key (Array.to_list theta);
+    let m =
+      {
+        Model.a0 = theta.(0);
+        a1 = theta.(1);
+        alpha_v = theta.(2);
+        a2 = theta.(3);
+        alpha_t = theta.(4);
+      }
+    in
+    let actual = Array.map (fun (_, _, y) -> y) pts in
+    let predicted =
+      Array.map
+        (fun ((k : Component.knob), _) ->
+          Model.eval_leak m ~vth:k.Component.vth ~tox:k.Component.tox)
+        samples
+    in
+    let quality = quality_of ~actual ~predicted in
+    record_quality ~model:"leak" quality;
+    (m, quality)
   in
-  let actual = Array.map (fun (_, _, y) -> y) pts in
-  let predicted =
-    Array.map
-      (fun ((k : Component.knob), _) ->
-        Model.eval_leak m ~vth:k.Component.vth ~tox:k.Component.tox)
-      samples
-  in
-  let quality = quality_of ~actual ~predicted in
-  record_lm ~model:"leak" ~key result quality;
-  (m, quality)
+  try
+    fit_boundary ~stage:"fit.leak" ~key @@ fun ~attempt ~last:_ ->
+    let coef, alpha_v, alpha_t, _ = Lazy.force profile in
+    (* LM refinement on all five parameters, relative residuals *)
+    let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
+    let ys_rel = Array.map (fun _ -> 1.0) pts in
+    let f theta xi = leak_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
+    let init = [| coef.(0); coef.(1); alpha_v; coef.(2); alpha_t |] in
+    let result =
+      Lm.fit_robust
+        ~check:(fun () -> Deadline.poll ~stage:"fit.leak")
+        ~seed:(retry_seed attempt) ~f ~xs ~ys:ys_rel ~init ()
+    in
+    record_attempt ~model:"leak" result;
+    finish (settle_lm ~model:"leak" ~key ~attempt ~first result)
+  with Fault.Fault ({ kind = Fault.Fit_diverged; _ } as fault) when !first <> None ->
+    (* every attempt diverged: degrade, don't fail — record the
+       casualty and return the canonical first-attempt model *)
+    Fault.record fault;
+    finish (match !first with Some r -> r | None -> assert false)
 
 let quality_leak m samples =
   let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.leak_w) samples in
@@ -191,36 +238,53 @@ let delay_eval theta (xi : float array) =
 let fit_delay samples =
   if Array.length samples < 5 then invalid_arg "Fitter.fit_delay: too few samples";
   let key = samples_key samples in
-  fit_boundary ~stage:"fit.delay" ~key @@ fun () ->
   let pts = unpack samples (fun s -> s.Component.delay) in
-  let best = ref None in
-  let kappas = Minimize.linspace ~lo:0.2 ~hi:10.0 ~steps:49 in
-  Array.iter
-    (fun kappa_v ->
-      let coef, err = delay_linear_fit pts ~kappa_v in
-      match !best with
-      | Some (_, _, e) when e <= err -> ()
-      | _ -> best := Some (coef, kappa_v, err))
-    kappas;
-  let coef, kappa_v, _ = match !best with Some b -> b | None -> assert false in
-  let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
-  let ys_rel = Array.map (fun _ -> 1.0) pts in
-  let f theta xi = delay_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
-  let init = [| coef.(0); coef.(1); kappa_v; coef.(2) |] in
-  let result = Lm.fit_robust ~f ~xs ~ys:ys_rel ~init () in
-  let theta = result.Lm.params in
-  check_model_finite ~stage:"fit.delay" ~key (Array.to_list theta);
-  let m = { Model.k0 = theta.(0); k1 = theta.(1); kappa_v = theta.(2); k2 = theta.(3) } in
-  let actual = Array.map (fun (_, _, y) -> y) pts in
-  let predicted =
-    Array.map
-      (fun ((k : Component.knob), _) ->
-        Model.eval_delay m ~vth:k.Component.vth ~tox:k.Component.tox)
-      samples
+  let profile =
+    lazy
+      (let best = ref None in
+       let kappas = Minimize.linspace ~lo:0.2 ~hi:10.0 ~steps:49 in
+       Array.iter
+         (fun kappa_v ->
+           let coef, err = delay_linear_fit pts ~kappa_v in
+           match !best with
+           | Some (_, _, e) when e <= err -> ()
+           | _ -> best := Some (coef, kappa_v, err))
+         kappas;
+       match !best with Some b -> b | None -> assert false)
   in
-  let quality = quality_of ~actual ~predicted in
-  record_lm ~model:"delay" ~key result quality;
-  (m, quality)
+  let first = ref None in
+  let finish (result : Lm.result) =
+    let theta = result.Lm.params in
+    check_model_finite ~stage:"fit.delay" ~key (Array.to_list theta);
+    let m = { Model.k0 = theta.(0); k1 = theta.(1); kappa_v = theta.(2); k2 = theta.(3) } in
+    let actual = Array.map (fun (_, _, y) -> y) pts in
+    let predicted =
+      Array.map
+        (fun ((k : Component.knob), _) ->
+          Model.eval_delay m ~vth:k.Component.vth ~tox:k.Component.tox)
+        samples
+    in
+    let quality = quality_of ~actual ~predicted in
+    record_quality ~model:"delay" quality;
+    (m, quality)
+  in
+  try
+    fit_boundary ~stage:"fit.delay" ~key @@ fun ~attempt ~last:_ ->
+    let coef, kappa_v, _ = Lazy.force profile in
+    let xs = Array.map (fun (v, x, y) -> [| v; x; y |]) pts in
+    let ys_rel = Array.map (fun _ -> 1.0) pts in
+    let f theta xi = delay_eval theta xi /. Float.max (Float.abs xi.(2)) 1e-30 in
+    let init = [| coef.(0); coef.(1); kappa_v; coef.(2) |] in
+    let result =
+      Lm.fit_robust
+        ~check:(fun () -> Deadline.poll ~stage:"fit.delay")
+        ~seed:(retry_seed attempt) ~f ~xs ~ys:ys_rel ~init ()
+    in
+    record_attempt ~model:"delay" result;
+    finish (settle_lm ~model:"delay" ~key ~attempt ~first result)
+  with Fault.Fault ({ kind = Fault.Fit_diverged; _ } as fault) when !first <> None ->
+    Fault.record fault;
+    finish (match !first with Some r -> r | None -> assert false)
 
 let quality_delay m samples =
   let actual = Array.map (fun (_, (s : Component.summary)) -> s.Component.delay) samples in
@@ -237,7 +301,7 @@ let quality_delay m samples =
 let fit_energy samples =
   if Array.length samples < 2 then invalid_arg "Fitter.fit_energy: too few samples";
   let key = samples_key samples in
-  fit_boundary ~stage:"fit.energy" ~key @@ fun () ->
+  fit_boundary ~stage:"fit.energy" ~key @@ fun ~attempt:_ ~last:_ ->
   let pts = unpack samples (fun s -> s.Component.dyn_energy) in
   let rows = Array.map (fun (_, x, _) -> [| 1.0; x |]) pts in
   let ys = Array.map (fun (_, _, y) -> y) pts in

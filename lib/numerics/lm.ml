@@ -39,7 +39,8 @@ let jacobian ~f ~xs theta =
   done;
   j
 
-let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
+let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ?(check = fun () -> ()) ~f ~xs
+    ~ys ~init () =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Lm.fit: no samples";
   if Array.length ys <> n then invalid_arg "Lm.fit: xs/ys length mismatch";
@@ -58,6 +59,9 @@ let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
   let converged = ref false in
   (try
      while (not !converged) && !iterations < max_iter do
+       (* cooperative cancellation seam: the engine's deadline poll
+          rides in here without this library depending on it *)
+       check ();
        incr iterations;
        let r = residuals ~f ~xs ~ys !theta in
        let j = jacobian ~f ~xs !theta in
@@ -104,9 +108,9 @@ let fit ?(max_iter = 200) ?(tol = 1e-10) ?(lambda0 = 1e-3) ~f ~xs ~ys ~init () =
 let finite_result r =
   Float.is_finite r.residual && Array.for_all Float.is_finite r.params
 
-let fit_robust ?max_iter ?tol ?lambda0 ?(restarts = 4) ?(seed = 0x5EEDL) ~f ~xs ~ys
-    ~init () =
-  let run init = fit ?max_iter ?tol ?lambda0 ~f ~xs ~ys ~init () in
+let fit_robust ?max_iter ?tol ?lambda0 ?check ?(restarts = 4) ?(seed = 0x5EEDL) ~f ~xs
+    ~ys ~init () =
+  let run init = fit ?max_iter ?tol ?lambda0 ?check ~f ~xs ~ys ~init () in
   let r0 = run init in
   if r0.converged && finite_result r0 then r0
   else begin

@@ -22,6 +22,7 @@ val fit :
   ?max_iter:int ->
   ?tol:float ->
   ?lambda0:float ->
+  ?check:(unit -> unit) ->
   f:(float array -> float array -> float) ->
   xs:float array array ->
   ys:float array ->
@@ -35,6 +36,10 @@ val fit :
     @param tol convergence tolerance on relative residual improvement and
            step size (default 1e-10).
     @param lambda0 initial damping (default 1e-3).
+    @param check called at the top of every iteration — a cooperative
+           cancellation hook (the engine's deadline poll); it may raise
+           to abort the fit, and defaults to a nop.  This keeps the
+           numerics layer free of engine dependencies.
 
     Raises [Invalid_argument] if [xs] and [ys] have different lengths or
     are empty, and {!Non_finite} if any sample or initial parameter is
@@ -44,6 +49,7 @@ val fit_robust :
   ?max_iter:int ->
   ?tol:float ->
   ?lambda0:float ->
+  ?check:(unit -> unit) ->
   ?restarts:int ->
   ?seed:int64 ->
   f:(float array -> float array -> float) ->

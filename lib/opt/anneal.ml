@@ -25,10 +25,14 @@ let n_components = List.length Component.all_kinds
 
 let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
   if delay_budget <= 0.0 then invalid_arg "Anneal.minimize_leakage: non-positive budget";
-  Nmcache_engine.Faultpoint.hit ~point:"anneal"
-    ~key:
-      (Printf.sprintf "seed=%Ld:iters=%d:budget=%.4e" params.seed params.iterations
-         delay_budget);
+  let fault_key =
+    Printf.sprintf "seed=%Ld:iters=%d:budget=%.4e" params.seed params.iterations
+      delay_budget
+  in
+  (* retry boundary: an injected transient at the anneal fault point is
+     retried (per-attempt arm semantics) before becoming a casualty *)
+  Nmcache_engine.Retry.run ~stage:"anneal" ~key:fault_key (fun ~attempt ~last:_ ->
+      Nmcache_engine.Faultpoint.hit ~attempt ~point:"anneal" ~key:fault_key ());
   let knobs = Grid.knobs grid in
   let n = Array.length knobs in
   let rng = Rng.create ~seed:params.seed in
@@ -83,7 +87,10 @@ let minimize_leakage ?(params = default_params) fitted ~grid ~delay_budget () =
   in
   let temperature = ref params.t_start in
   let accepted = ref 0 in
-  for _ = 1 to params.iterations do
+  for iter = 1 to params.iterations do
+    (* cooperative cancellation: a few hundred polls over a 20k-step
+       anneal keeps overrun bounded at negligible cost *)
+    if iter land 63 = 0 then Nmcache_engine.Deadline.poll ~stage:"anneal";
     let c = Rng.int rng ~bound:n_components in
     let old = state.(c) in
     (* local move in the grid with occasional global jumps *)

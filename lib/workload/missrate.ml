@@ -6,6 +6,9 @@ module Stats = Nmcache_cachesim.Stats
 module Memo = Nmcache_engine.Memo
 module Task = Nmcache_engine.Task
 module Sweep = Nmcache_engine.Sweep
+module Retry = Nmcache_engine.Retry
+module Deadline = Nmcache_engine.Deadline
+module Faultpoint = Nmcache_engine.Faultpoint
 
 type point = {
   l1_miss : float;
@@ -30,40 +33,68 @@ let policy_key = function
   | Replacement.Random s -> Printf.sprintf "random%d" s
   | Replacement.Plru -> "plru"
 
+(* The memo keys double as checkpoint slot keys for the sweep tasks
+   below, so they must (and do) name every input the result depends
+   on. *)
+let sim_key ~workload ~l1_size ~l2_size ~l1_assoc ~l2_assoc ~block ~policy ~seed ~n =
+  Printf.sprintf "sim:%s:%d:%d:%d:%d:%d:%s:%Ld:%d" workload l1_size l2_size l1_assoc
+    l2_assoc block (policy_key policy) seed n
+
+let curve_key ~workload ~l1_size ~l1_assoc ~block ~seed ~n ~l2_sizes =
+  let sizes_key = String.concat "," (Array.to_list (Array.map string_of_int l2_sizes)) in
+  Printf.sprintf "curve:%s:%d:%d:%d:%Ld:%d:%s" workload l1_size l1_assoc block seed n
+    sizes_key
+
+let l1_key ~workload ~l1_size ~l1_assoc ~block ~policy ~seed ~n =
+  Printf.sprintf "l1:%s:%d:%d:%d:%s:%Ld:%d" workload l1_size l1_assoc block
+    (policy_key policy) seed n
+
 (* A warmup prefix of half the trace fills the caches before counters
    start, so rates reflect steady state rather than cold-start. *)
 let warmup_fraction = 0.5
 
+(* Cooperative deadline seam for the access loops: one poll every 4096
+   accesses bounds a wedged simulation without showing up in the
+   profile. *)
+let polled ~stage feed =
+  let count = ref 0 in
+  fun a ->
+    incr count;
+    if !count land 4095 = 0 then Deadline.poll ~stage;
+    feed a
+
 let simulate ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64) ?(policy = Replacement.Lru)
     ?(seed = Registry.default_seed) ~workload ~l1_size ~l2_size ~n () =
-  let key =
-    Printf.sprintf "sim:%s:%d:%d:%d:%d:%d:%s:%Ld:%d" workload l1_size l2_size l1_assoc
-      l2_assoc block (policy_key policy) seed n
-  in
+  let key = sim_key ~workload ~l1_size ~l2_size ~l1_assoc ~l2_assoc ~block ~policy ~seed ~n in
   Memo.find_or_compute point_cache key (fun () ->
       (* inside the memoised compute: an injected fault exercises the
          Pending-cleanup path (waiters retry, hit the same key-
-         deterministic fault, and fail identically at any --jobs) *)
-      Nmcache_engine.Faultpoint.hit ~point:"simulate" ~key;
-      let gen = Registry.build ~seed workload in
-      let l1 = Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy () in
-      let l2 = Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy () in
-      let h = Hierarchy.create ~l1 ~l2 in
-      let warm = int_of_float (warmup_fraction *. float_of_int n) in
-      Gen.iter gen warm (fun a ->
-          ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
-      Cache.reset_stats l1;
-      Cache.reset_stats l2;
-      Gen.iter gen (n - warm) (fun a ->
-          ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
-      Nmcache_engine.Metrics.incr "cachesim.simulations";
-      Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
-      Stats.flush_to_metrics ~prefix:"cachesim.l2" (Cache.stats l2);
-      {
-        l1_miss = Hierarchy.l1_miss_rate h;
-        l2_local = Hierarchy.l2_local_miss_rate h;
-        l2_global = Hierarchy.l2_global_miss_rate h;
-      })
+         deterministic fault, and fail identically at any --jobs).
+         The retry boundary sits inside the memo too, so a transient
+         injection is recovered before any waiter sees it. *)
+      Retry.run ~stage:"simulate" ~key (fun ~attempt ~last:_ ->
+          Faultpoint.hit ~attempt ~point:"simulate" ~key ();
+          let gen = Registry.build ~seed workload in
+          let l1 = Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy () in
+          let l2 = Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy () in
+          let h = Hierarchy.create ~l1 ~l2 in
+          let warm = int_of_float (warmup_fraction *. float_of_int n) in
+          let feed =
+            polled ~stage:"simulate" (fun a ->
+                ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write))
+          in
+          Gen.iter gen warm feed;
+          Cache.reset_stats l1;
+          Cache.reset_stats l2;
+          Gen.iter gen (n - warm) feed;
+          Nmcache_engine.Metrics.incr "cachesim.simulations";
+          Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
+          Stats.flush_to_metrics ~prefix:"cachesim.l2" (Cache.stats l2);
+          {
+            l1_miss = Hierarchy.l1_miss_rate h;
+            l2_local = Hierarchy.l2_local_miss_rate h;
+            l2_global = Hierarchy.l2_global_miss_rate h;
+          }))
 
 type l2_curve = {
   workload : string;
@@ -75,35 +106,33 @@ type l2_curve = {
 
 let raw_curve ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~workload
     ~l1_size ~l2_sizes ~n () =
-  let sizes_key = String.concat "," (Array.to_list (Array.map string_of_int l2_sizes)) in
-  let key =
-    Printf.sprintf "curve:%s:%d:%d:%d:%Ld:%d:%s" workload l1_size l1_assoc block seed n
-      sizes_key
-  in
+  let key = curve_key ~workload ~l1_size ~l1_assoc ~block ~seed ~n ~l2_sizes in
   Memo.find_or_compute curve_cache key (fun () ->
-      Nmcache_engine.Faultpoint.hit ~point:"simulate" ~key;
-      let gen = Registry.build ~seed workload in
-      let l1 =
-        Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
-          ~policy:Replacement.Lru ()
-      in
-      let profiler = Mattson.create ~block_bytes:block () in
-      let feed a =
-        let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
-        if not o.Cache.hit then Mattson.access profiler a.Access.addr
-      in
-      let warm = int_of_float (warmup_fraction *. float_of_int n) in
-      Mattson.set_measuring profiler false;
-      Gen.iter gen warm feed;
-      Cache.reset_stats l1;
-      Mattson.set_measuring profiler true;
-      Gen.iter gen (n - warm) feed;
-      let l1m = Stats.miss_rate (Cache.stats l1) in
-      Nmcache_engine.Metrics.incr "cachesim.mattson_curves";
-      Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
-      let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
-      let rates = Mattson.miss_ratio_curve profiler ~capacities:caps in
-      (l1m, rates))
+      Retry.run ~stage:"simulate" ~key (fun ~attempt ~last:_ ->
+          Faultpoint.hit ~attempt ~point:"simulate" ~key ();
+          let gen = Registry.build ~seed workload in
+          let l1 =
+            Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
+              ~policy:Replacement.Lru ()
+          in
+          let profiler = Mattson.create ~block_bytes:block () in
+          let feed =
+            polled ~stage:"simulate" (fun a ->
+                let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
+                if not o.Cache.hit then Mattson.access profiler a.Access.addr)
+          in
+          let warm = int_of_float (warmup_fraction *. float_of_int n) in
+          Mattson.set_measuring profiler false;
+          Gen.iter gen warm feed;
+          Cache.reset_stats l1;
+          Mattson.set_measuring profiler true;
+          Gen.iter gen (n - warm) feed;
+          let l1m = Stats.miss_rate (Cache.stats l1) in
+          Nmcache_engine.Metrics.incr "cachesim.mattson_curves";
+          Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
+          let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
+          let rates = Mattson.miss_ratio_curve profiler ~capacities:caps in
+          (l1m, rates)))
 
 let l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n () =
   let l1_miss_rate, l2_local_rates =
@@ -111,14 +140,18 @@ let l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n () =
   in
   { workload; l1_size; l1_miss_rate; l2_sizes = Array.copy l2_sizes; l2_local_rates }
 
-let averaged_l2_curve ?l1_assoc ?block ?seed ~workloads ~l1_size ~l2_sizes ~n () =
+let averaged_l2_curve ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed)
+    ~workloads ~l1_size ~l2_sizes ~n () =
   if workloads = [] then invalid_arg "Missrate.averaged_l2_curve: no workloads";
   (* one independent simulation per workload — the engine fans them out
-     and returns curves in workload order *)
+     and returns curves in workload order; the slot key (the memo key)
+     makes each curve individually checkpointable *)
   let curves =
     Sweep.map_list
-      (Task.make ~name:"missrate.l2-curve" (fun workload ->
-           l2_curve ?l1_assoc ?block ?seed ~workload ~l1_size ~l2_sizes ~n ()))
+      (Task.make ~name:"missrate.l2-curve"
+         ~key:(fun workload -> curve_key ~workload ~l1_size ~l1_assoc ~block ~seed ~n ~l2_sizes)
+         (fun workload ->
+           l2_curve ~l1_assoc ~block ~seed ~workload ~l1_size ~l2_sizes ~n ()))
       workloads
   in
   let k = float_of_int (List.length curves) in
@@ -137,23 +170,22 @@ let averaged_l2_curve ?l1_assoc ?block ?seed ~workloads ~l1_size ~l2_sizes ~n ()
 
 let l1_sweep ?(l1_assoc = 4) ?(block = 64) ?(policy = Replacement.Lru)
     ?(seed = Registry.default_seed) ~workload ~l1_sizes ~n () =
+  let slot_key l1_size = l1_key ~workload ~l1_size ~l1_assoc ~block ~policy ~seed ~n in
   Sweep.map_array
-    (Task.make ~name:"missrate.l1-sweep" (fun l1_size ->
-         let key =
-           Printf.sprintf "l1:%s:%d:%d:%d:%s:%Ld:%d" workload l1_size l1_assoc block
-             (policy_key policy) seed n
-         in
-         Memo.find_or_compute l1_cache key (fun () ->
+    (Task.make ~name:"missrate.l1-sweep" ~key:slot_key (fun l1_size ->
+         Memo.find_or_compute l1_cache (slot_key l1_size) (fun () ->
              let gen = Registry.build ~seed workload in
              let l1 =
                Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy ()
              in
+             let feed =
+               polled ~stage:"simulate" (fun a ->
+                   ignore (Cache.access l1 a.Access.addr ~write:a.Access.write))
+             in
              let warm = int_of_float (warmup_fraction *. float_of_int n) in
-             Gen.iter gen warm (fun a ->
-                 ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
+             Gen.iter gen warm feed;
              Cache.reset_stats l1;
-             Gen.iter gen (n - warm) (fun a ->
-                 ignore (Cache.access l1 a.Access.addr ~write:a.Access.write));
+             Gen.iter gen (n - warm) feed;
              Nmcache_engine.Metrics.incr "cachesim.simulations";
              Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
              Stats.miss_rate (Cache.stats l1))))

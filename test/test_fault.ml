@@ -35,7 +35,8 @@ let with_injection spec f =
 (* --- Fault: kinds, JSON, classification, log ----------------------------- *)
 
 let all_kinds =
-  Fault.[ Fit_diverged; Singular_system; Non_finite; Out_of_domain; Injected; Crashed ]
+  Fault.
+    [ Fit_diverged; Singular_system; Non_finite; Out_of_domain; Injected; Crashed; Timed_out ]
 
 let test_kind_names () =
   List.iter
@@ -98,7 +99,7 @@ let test_spec_parsing () =
   Alcotest.(check bool) "disarmed by default" false (Faultpoint.active ());
   Alcotest.(check bool) "hit is a nop when disarmed" true
     (try
-       Faultpoint.hit ~point:"experiment" ~key:"schemes";
+       Faultpoint.hit ~point:"experiment" ~key:"schemes" ();
        true
      with Fault.Fault _ -> false);
   (match Faultpoint.configure "experiment=schemes, fit.leak:0.25 ,anneal,seed:7" with
@@ -130,7 +131,7 @@ let test_spec_arm_semantics () =
     (match Faultpoint.configure spec with
     | Ok () -> ()
     | Error msg -> Alcotest.fail msg);
-    Faultpoint.should_fire ~point ~key
+    Faultpoint.should_fire ~point ~key ()
   in
   Alcotest.(check bool) "p:0 never fires" false
     (fires "simulate:0.0" ~point:"simulate" ~key:"anything");
@@ -153,7 +154,7 @@ let test_spec_arm_semantics () =
     | Ok () -> ()
     | Error msg -> Alcotest.fail msg);
     List.init 64 (fun i ->
-        Faultpoint.should_fire ~point:"simulate" ~key:(string_of_int i))
+        Faultpoint.should_fire ~point:"simulate" ~key:(string_of_int i) ())
   in
   let a = with_seed 1 and b = with_seed 1 and c = with_seed 2 in
   Alcotest.(check bool) "same seed, same draws" true (a = b);
@@ -178,7 +179,7 @@ let test_env_configuration () =
 let test_injection_determinism () =
   with_injection "simulate:0.4,seed:3" @@ fun () ->
   let keys = List.init 64 (fun i -> Printf.sprintf "sim:key-%d" i) in
-  let draw_all () = List.map (fun key -> Faultpoint.should_fire ~point:"simulate" ~key) keys in
+  let draw_all () = List.map (fun key -> Faultpoint.should_fire ~point:"simulate" ~key ()) keys in
   let first = draw_all () in
   Alcotest.(check bool) "selection is a pure function of the key" true (first = draw_all ());
   let fired = List.length (List.filter Fun.id first) in
@@ -187,22 +188,22 @@ let test_injection_determinism () =
     true
     (fired > 0 && fired < 64);
   Alcotest.(check bool) "other points unaffected" false
-    (List.exists (fun key -> Faultpoint.should_fire ~point:"anneal" ~key) keys)
+    (List.exists (fun key -> Faultpoint.should_fire ~point:"anneal" ~key ()) keys)
 
 let test_injection_arms () =
   (* Always fires on every key; Prob 0 never; Key only on the exact key *)
   with_injection "experiment,fit.leak:0.0,simulate=sim:exact" @@ fun () ->
   Alcotest.(check bool) "bare point always fires" true
-    (Faultpoint.should_fire ~point:"experiment" ~key:"anything");
+    (Faultpoint.should_fire ~point:"experiment" ~key:"anything" ());
   Alcotest.(check bool) "probability zero never fires" false
-    (Faultpoint.should_fire ~point:"fit.leak" ~key:"anything");
+    (Faultpoint.should_fire ~point:"fit.leak" ~key:"anything" ());
   Alcotest.(check bool) "exact key fires" true
-    (Faultpoint.should_fire ~point:"simulate" ~key:"sim:exact");
+    (Faultpoint.should_fire ~point:"simulate" ~key:"sim:exact" ());
   Alcotest.(check bool) "other keys do not" false
-    (Faultpoint.should_fire ~point:"simulate" ~key:"sim:other");
+    (Faultpoint.should_fire ~point:"simulate" ~key:"sim:other" ());
   Fault.reset ();
   (try
-     Faultpoint.hit ~point:"experiment" ~key:"schemes";
+     Faultpoint.hit ~point:"experiment" ~key:"schemes" ();
      Alcotest.fail "armed hit did not raise"
    with Fault.Fault f ->
      Alcotest.(check bool) "raised fault is Injected" true (f.Fault.kind = Fault.Injected);
@@ -266,7 +267,7 @@ let test_injected_faults_never_hang_pool () =
   with_injection "chaos.point" @@ fun () ->
   let task =
     Task.make ~name:"chaos.sweep" (fun i ->
-        Faultpoint.hit ~point:"chaos.point" ~key:(string_of_int i);
+        Faultpoint.hit ~point:"chaos.point" ~key:(string_of_int i) ();
         i)
   in
   let out = Sweep.map_array_result ~pool:(Pool.create ~jobs:4) task (Array.init 32 Fun.id) in
@@ -288,7 +289,7 @@ let test_injected_fault_never_poisons_memo () =
   let get key =
     Memo.find_or_compute memo key (fun () ->
         Atomic.incr computed;
-        Faultpoint.hit ~point:"memo.compute" ~key;
+        Faultpoint.hit ~point:"memo.compute" ~key ();
         String.length key)
   in
   (* four domains race the same armed key: each retry recomputes (the

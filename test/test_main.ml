@@ -17,6 +17,7 @@ let () =
       ("opt", Test_opt.suite);
       ("engine", Test_engine.suite);
       ("fault", Test_fault.suite);
+      ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
