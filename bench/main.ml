@@ -36,8 +36,11 @@ let bench_schema_version = 2
    contributes — per-experiment wall time (from the experiment spans),
    the engine stage table, memo hit rates, and the metrics registry
    (LM iteration counts, fit quality, cachesim totals).  Versioned so
-   later PRs can evolve the shape without breaking report readers. *)
-let write_bench_json ~label ~jobs ~quick ~wall_s =
+   later PRs can evolve the shape without breaking report readers.
+   [scenario] names a dedicated scenario run ("sweep") so trajectory
+   readers never compare a scenario wall time against a full
+   reproduction; absent for the classic full run. *)
+let write_bench_json ?scenario ~label ~jobs ~quick ~wall_s () =
   let experiments =
     List.filter_map
       (fun (s : Span.span) ->
@@ -50,23 +53,96 @@ let write_bench_json ~label ~jobs ~quick ~wall_s =
   in
   let report =
     Json.Obj
-      [
-        ("schema_version", Json.Int bench_schema_version);
-        ("label", Json.String label);
-        ("jobs", Json.Int jobs);
-        ("quick", Json.Bool quick);
-        ("wall_s", Json.Float wall_s);
-        ("experiments", Json.List experiments);
-        ("stages", Obs.stages_json ());
-        ("memo", Obs.memo_json ());
-        ("metrics", Metrics.to_json ());
-        ("faults", Obs.faults_json ());
-        ("resilience", Obs.resilience_json ());
-      ]
+      ([
+         ("schema_version", Json.Int bench_schema_version);
+         ("label", Json.String label);
+         ("jobs", Json.Int jobs);
+         ("quick", Json.Bool quick);
+       ]
+      @ (match scenario with
+        | None -> []
+        | Some s -> [ ("scenario", Json.String s) ])
+      @ [
+          ("wall_s", Json.Float wall_s);
+          ("experiments", Json.List experiments);
+          ("stages", Obs.stages_json ());
+          ("memo", Obs.memo_json ());
+          ("metrics", Metrics.to_json ());
+          ("faults", Obs.faults_json ());
+          ("resilience", Obs.resilience_json ());
+        ])
   in
   let path = "BENCH_" ^ label ^ ".json" in
   Obs.write_json ~path report;
   Printf.printf "[bench report: %s]\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Sweep scenario: the full L1×L2 miss-rate grid                       *)
+
+(* The design-space studies need (m1, m2) for every (workload, L1, L2)
+   cell.  This scenario times exactly that grid, in one of two modes:
+
+   - "per-point": one two-level simulation per (L1, L2) cell — the
+     sweep structure the repo had before the profile-once engine, kept
+     so the committed BENCH_baseline.json trajectory point stays
+     reproducible from HEAD;
+   - "profile": one stack-distance profile per (workload, L1 config),
+     every L2 (and further L2 size, later) derived without another
+     trace traversal.
+
+   The digest printed at the end is a plain sum of rates, one
+   (m1 + m2) term per grid cell, pinning each mode's numerical output
+   across refactors.  Digests are mode-specific: per-point's m2 counts
+   the full L2 access stream (writebacks included) while the profile's
+   m2 is the demand-miss-stream estimate the curve layer has always
+   used, so the two are close in shape but not summable to the same
+   scalar. *)
+let sweep_scenario ctx ~mode =
+  let module Missrate = Nmcache_workload.Missrate in
+  let workloads = ctx.Core.Context.workloads in
+  let l1_sizes = Core.Context.l1_sizes in
+  let l2_sizes = Core.Context.l2_sizes in
+  let n = ctx.Core.Context.n_sim in
+  let seed = ctx.Core.Context.seed in
+  Printf.printf
+    "==================================================================\n\
+    \ Sweep scenario: %d workloads x %d L1 sizes x %d L2 sizes (%s)\n\
+     ==================================================================\n"
+    (List.length workloads) (Array.length l1_sizes) (Array.length l2_sizes) mode;
+  let digest = ref 0.0 in
+  (match mode with
+  | "per-point" ->
+    List.iter
+      (fun workload ->
+        Array.iter
+          (fun l1_size ->
+            Array.iter
+              (fun l2_size ->
+                let p = Missrate.simulate ~seed ~workload ~l1_size ~l2_size ~n () in
+                digest := !digest +. p.Missrate.l1_miss +. p.Missrate.l2_local)
+              l2_sizes)
+          l1_sizes)
+      workloads
+  | "profile" ->
+    let g = Missrate.grid ~seed ~workloads ~l1_sizes ~l2_sizes ~n () in
+    (* accumulate one (m1 + m2) term per grid cell, the same shape as
+       the per-point digest *)
+    Array.iteri
+      (fun i _ ->
+        Array.iter
+          (fun (c : Missrate.l2_curve) ->
+            Array.iter
+              (fun m2 -> digest := !digest +. c.Missrate.l1_miss_rate +. m2)
+              c.Missrate.l2_local_rates)
+          g.Missrate.g_per_workload.(i))
+      l1_sizes
+  | other ->
+    Printf.eprintf "bench: unknown --grid mode %S (expected per-point or profile)\n" other;
+    exit 2);
+  Printf.printf "[sweep grid digest %.6f]\n" !digest;
+  Printf.printf "[trace traversals: %d simulations, %d mattson profiles]\n"
+    (Metrics.counter_value "cachesim.simulations")
+    (Metrics.counter_value "cachesim.mattson_curves")
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
@@ -232,6 +308,24 @@ let () =
       exit 2));
   Nmcache_engine.Executor.set_jobs jobs;
   let ctx = if quick then Core.Context.quick () else Core.Context.default () in
+  (* --scenario sweep [--grid per-point|profile] runs the dedicated
+     L1×L2 grid scenario instead of the full reproduction: the timed
+     region is the grid itself, which is the perf-trajectory point the
+     committed BENCH_baseline/BENCH_pr6 files record *)
+  (match string_flag "--scenario" "" with
+  | "" -> ()
+  | "sweep" ->
+    let mode = string_flag "--grid" "profile" in
+    let t0 = Unix.gettimeofday () in
+    Span.set_enabled true;
+    sweep_scenario ctx ~mode;
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "sweep scenario wall time: %.2f s\n" wall;
+    write_bench_json ~scenario:"sweep" ~label ~jobs ~quick ~wall_s:wall ();
+    exit 0
+  | other ->
+    Printf.eprintf "bench: unknown --scenario %S (expected sweep)\n" other;
+    exit 2);
   let t0 = Unix.gettimeofday () in
   Span.set_enabled true;
   (* journal only phase 1 (the sweeps); microbenchmarks re-run kernels
@@ -255,7 +349,7 @@ let () =
         (Nmcache_engine.Checkpoint.appended j);
       Nmcache_engine.Checkpoint.close j)
     journal;
-  write_bench_json ~label ~jobs ~quick ~wall_s:(Unix.gettimeofday () -. t0);
+  write_bench_json ~label ~jobs ~quick ~wall_s:(Unix.gettimeofday () -. t0) ();
   (* microbenchmarks measure single-kernel latency: keep them off the
      domain pool — and stop collecting spans, bechamel would record
      thousands per closure — so the samples stay stable *)

@@ -6,6 +6,11 @@ type t = {
   block_bytes : int;
   sets : int;
   policy : Replacement.t;
+  (* address decomposition, precomputed once so the access loop is pure
+     shift/mask work *)
+  block_shift : int;       (* log2 block_bytes *)
+  set_mask : int;          (* sets - 1 *)
+  set_shift : int;         (* log2 sets *)
   tags : int array;        (* sets * assoc; -1 = invalid; holds tag *)
   dirty : Bytes.t;         (* sets * assoc booleans *)
   stamp : int array;       (* LRU recency / FIFO install order *)
@@ -13,7 +18,7 @@ type t = {
   rng : Rng.t;
   mutable clock : int;
   stats : Stats.t;
-  seen : (int, unit) Hashtbl.t;
+  seen : Intmap.t;         (* all-time first-touch set, consulted on misses only *)
 }
 
 type outcome = {
@@ -23,6 +28,10 @@ type outcome = {
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
 
 let create ~size_bytes ~assoc ~block_bytes ~policy () =
   if not (is_pow2 size_bytes) then invalid_arg "Cache.create: size not a power of two";
@@ -43,6 +52,9 @@ let create ~size_bytes ~assoc ~block_bytes ~policy () =
     block_bytes;
     sets;
     policy;
+    block_shift = log2 block_bytes;
+    set_mask = sets - 1;
+    set_shift = log2 sets;
     tags = Array.make (sets * assoc) (-1);
     dirty = Bytes.make (sets * assoc) '\000';
     stamp = Array.make (sets * assoc) 0;
@@ -50,7 +62,7 @@ let create ~size_bytes ~assoc ~block_bytes ~policy () =
     rng = Rng.create ~seed:(Int64.of_int seed);
     clock = 0;
     stats = Stats.create ();
-    seen = Hashtbl.create 4096;
+    seen = Intmap.create ~initial_capacity:4096 ();
   }
 
 let size_bytes t = t.size_bytes
@@ -61,19 +73,35 @@ let policy t = t.policy
 let stats t = t.stats
 let reset_stats t = Stats.reset t.stats
 
-let locate t addr =
-  let set = Address.set_of addr ~block_bytes:t.block_bytes ~sets:t.sets in
-  let tag = Address.tag_of addr ~block_bytes:t.block_bytes ~sets:t.sets in
-  (set, tag)
-
-let find_way t set tag =
-  let base = set * t.assoc in
-  let rec go w =
-    if w >= t.assoc then None
-    else if t.tags.(base + w) = tag then Some w
-    else go (w + 1)
-  in
-  go 0
+(* Way holding [tag] in the set at [base], or -1.  Unrolled for the
+   associativities the experiments sweep (1/2/4/8); returning an int
+   keeps the hot path allocation-free. *)
+let find_way t base tag =
+  let tags = t.tags in
+  match t.assoc with
+  | 1 -> if tags.(base) = tag then 0 else -1
+  | 2 -> if tags.(base) = tag then 0 else if tags.(base + 1) = tag then 1 else -1
+  | 4 ->
+    if tags.(base) = tag then 0
+    else if tags.(base + 1) = tag then 1
+    else if tags.(base + 2) = tag then 2
+    else if tags.(base + 3) = tag then 3
+    else -1
+  | 8 ->
+    if tags.(base) = tag then 0
+    else if tags.(base + 1) = tag then 1
+    else if tags.(base + 2) = tag then 2
+    else if tags.(base + 3) = tag then 3
+    else if tags.(base + 4) = tag then 4
+    else if tags.(base + 5) = tag then 5
+    else if tags.(base + 6) = tag then 6
+    else if tags.(base + 7) = tag then 7
+    else -1
+  | a ->
+    let rec go w =
+      if w >= a then -1 else if tags.(base + w) = tag then w else go (w + 1)
+    in
+    go 0
 
 (* PLRU: the tree bits of a set select a way; touching a way points the
    bits away from it. *)
@@ -145,21 +173,25 @@ let install t set way tag ~write =
 let block_number_of t set tag = (tag * t.sets) + set
 
 let access t addr ~write =
-  let set, tag = locate t addr in
-  let block = Address.block_of addr ~block_bytes:t.block_bytes in
-  let cold = not (Hashtbl.mem t.seen block) in
-  if cold then Hashtbl.replace t.seen block ();
-  match find_way t set tag with
-  | Some way ->
+  let block = addr lsr t.block_shift in
+  let set = block land t.set_mask in
+  let tag = block lsr t.set_shift in
+  let base = set * t.assoc in
+  let way = find_way t base tag in
+  if way >= 0 then begin
     Stats.record t.stats ~hit:true ~write;
-    if write then Bytes.set t.dirty ((set * t.assoc) + way) '\001';
+    if write then Bytes.set t.dirty (base + way) '\001';
     touch t set way;
     { hit = true; victim = None; victim_dirty = false }
-  | None ->
+  end
+  else begin
     Stats.record t.stats ~hit:false ~write;
+    (* a hit implies the block was installed by an earlier miss and is
+       already in [seen], so first-touch tracking only needs the miss
+       path *)
+    let cold = Intmap.add_if_absent t.seen block in
     if cold then t.stats.Stats.cold_misses <- t.stats.Stats.cold_misses + 1;
     let way = choose_victim t set in
-    let base = set * t.assoc in
     let old_tag = t.tags.(base + way) in
     let victim, victim_dirty =
       if old_tag = -1 then (None, false)
@@ -172,10 +204,13 @@ let access t addr ~write =
     in
     install t set way tag ~write;
     { hit = false; victim; victim_dirty }
+  end
 
 let contains t addr =
-  let set, tag = locate t addr in
-  Option.is_some (find_way t set tag)
+  let block = addr lsr t.block_shift in
+  let set = block land t.set_mask in
+  let tag = block lsr t.set_shift in
+  find_way t (set * t.assoc) tag >= 0
 
 let valid_blocks t =
   let acc = ref [] in

@@ -1,0 +1,36 @@
+(** Flat open-addressing int → int hash map for the simulator hot loops
+    (cold-miss first-touch sets, Mattson last-access timestamps).
+
+    Linear probing over two parallel [int array]s — no per-entry boxing,
+    no bucket lists — with growth at 3/4 load.  Deletion is not
+    supported (the simulators only insert and overwrite), which keeps
+    probing tombstone-free.  Keys must be non-negative; [min_int] is the
+    internal empty marker. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Capacity is rounded up to a power of two, minimum 16. *)
+
+val length : t -> int
+(** Number of distinct keys present. *)
+
+val find : t -> int -> default:int -> int
+(** Value bound to the key, or [default] if absent. *)
+
+val mem : t -> int -> bool
+
+val replace : t -> int -> int -> unit
+(** Insert or overwrite.  Raises [Invalid_argument] on a negative key. *)
+
+val add_if_absent : t -> int -> bool
+(** Insert the key (bound to 0) if absent and return [true]; return
+    [false] if it was already present.  One probe for the common
+    membership-then-insert pattern.  Raises [Invalid_argument] on a
+    negative key. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all bindings in unspecified order. *)
+
+val clear : t -> unit
+(** Remove all bindings, keeping the allocated capacity. *)

@@ -48,5 +48,18 @@ val misses_at : t -> capacity_blocks:int -> int
 
 val miss_rate_at : t -> capacity_blocks:int -> float
 
+val cdf : t -> int array * int array
+(** [(dists, suffix)]: ascending distinct reuse distances and, aligned
+    with them, the number of warm accesses at that distance {e or
+    greater}.  One O(|hist|) build answers any capacity query in
+    O(log |hist|) via {!suffix_at} — the backing store for derived
+    miss-rate curves. *)
+
+val suffix_at : dists:int array -> suffix:int array -> int -> int
+(** [suffix_at ~dists ~suffix c] is the number of warm accesses with
+    reuse distance ≥ [c], given arrays from {!cdf} (binary search). *)
+
 val miss_ratio_curve : t -> capacities:int array -> float array
-(** Vectorised {!miss_rate_at}. *)
+(** Vectorised {!miss_rate_at}, answered from one {!cdf} build instead
+    of one histogram fold per capacity.  Raises [Invalid_argument] on a
+    capacity ≤ 0. *)

@@ -105,6 +105,9 @@ let policy_ablation ctx =
   let rows =
     List.map
       (fun policy ->
+        (* the LRU row is derived from one raw-trace profile (all sizes,
+           one traversal); the other policies fall outside the stack
+           model and keep per-size direct simulation *)
         let l1_misses =
           Missrate.l1_sweep ~policy ~seed:ctx.Context.seed ~workload
             ~l1_sizes:Context.l1_sizes ~n ()

@@ -10,6 +10,7 @@ module Scheme = Nmcache_opt.Scheme
 module Anneal = Nmcache_opt.Anneal
 module Drowsy = Nmcache_energy.Drowsy
 module Missrate = Nmcache_workload.Missrate
+module Profile = Nmcache_workload.Profile
 module Rng = Nmcache_numerics.Rng
 module Cache = Nmcache_cachesim.Cache
 module Prefetch = Nmcache_cachesim.Prefetch
@@ -237,6 +238,9 @@ let geometry_sweeps ctx =
   let workload = "spec2000-mix" in
   let n = ctx.Context.n_sim in
   let ref_knob = Context.reference_knob ctx in
+  (* one raw-trace profile serves every associativity row: the ways
+     only enter through the binomial set-associative correction *)
+  let assoc_profile = Profile.raw ~seed:ctx.Context.seed ~workload ~n () in
   let assoc_rows =
     List.map
       (fun assoc ->
@@ -244,8 +248,8 @@ let geometry_sweeps ctx =
         let model = Cache_model.make ctx.Context.tech cfg in
         let r = Cache_model.evaluate model (Component.uniform ref_knob) in
         let miss =
-          (Missrate.l1_sweep ~l1_assoc:assoc ~seed:ctx.Context.seed ~workload
-             ~l1_sizes:[| ctx.Context.l1_size |] ~n ()).(0)
+          Profile.setassoc_miss_rate assoc_profile
+            ~capacity_blocks:(max 1 (ctx.Context.l1_size / 64)) ~assoc
         in
         [
           string_of_int assoc;
@@ -255,15 +259,18 @@ let geometry_sweeps ctx =
         ])
       [ 1; 2; 4; 8; 16 ]
   in
+  (* block size changes the profiled stream itself: one traversal per
+     block size, still independent of the L1 capacity being queried *)
   let block_rows =
     List.map
       (fun block ->
         let cfg = Config.make ~size_bytes:ctx.Context.l1_size ~assoc:4 ~block_bytes:block () in
         let model = Cache_model.make ctx.Context.tech cfg in
         let r = Cache_model.evaluate model (Component.uniform ref_knob) in
+        let prof = Profile.raw ~block ~seed:ctx.Context.seed ~workload ~n () in
         let miss =
-          (Missrate.l1_sweep ~block ~seed:ctx.Context.seed ~workload
-             ~l1_sizes:[| ctx.Context.l1_size |] ~n ()).(0)
+          Profile.setassoc_miss_rate prof
+            ~capacity_blocks:(max 1 (ctx.Context.l1_size / block)) ~assoc:4
         in
         [
           string_of_int block;

@@ -251,8 +251,23 @@ let l1_sweep_rows ctx ?(amat_slack = 1.05) () =
   let _, l2_ref = reference_estimate ctx (Context.l2_config ctx ()) in
   let t_l2 = l2_ref.Fitted_cache.access_time in
   let l2_leak = l2_ref.Fitted_cache.leak_w in
+  (* one grid call profiles the whole workload × L1 plane in a single
+     fan-out (one measured traversal per pair); every row's curve below
+     is derived from those profiles without touching the trace again *)
+  let grid =
+    Missrate.grid ~seed:ctx.Context.seed ~workloads:ctx.Context.workloads
+      ~l1_sizes:Context.l1_sizes ~l2_sizes:Context.l2_sizes ~n:ctx.Context.n_sim ()
+  in
+  let curve_for l1_size =
+    let rec find i =
+      if i >= Array.length grid.Missrate.g_l1_sizes then miss_curve ctx ~l1_size
+      else if grid.Missrate.g_l1_sizes.(i) = l1_size then grid.Missrate.g_averaged.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
   (* baseline with the default L1 *)
-  let base_curve = miss_curve ctx ~l1_size:ctx.Context.l1_size in
+  let base_curve = curve_for ctx.Context.l1_size in
   let _, l1_ref = reference_estimate ctx (Context.l1_config ctx ()) in
   let target =
     amat_slack
@@ -264,7 +279,7 @@ let l1_sweep_rows ctx ?(amat_slack = 1.05) () =
     Array.to_list
       (Sweep.map_array
          (Task.make ~name:"two_level.l1-row" (fun l1_size ->
-           let curve = miss_curve ctx ~l1_size in
+           let curve = curve_for l1_size in
            let m1 = curve.Missrate.l1_miss_rate in
            let m2 = m2_of_curve curve ctx.Context.l2_size in
            (* AMAT = t_l1 + m1 (t_l2 + m2 t_mem)  =>  budget on t_l1 *)

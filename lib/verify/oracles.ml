@@ -257,4 +257,153 @@ let fit ctx =
         (Fitted_cache.components fitted))
     [ ("l1", Context.l1_config ctx ()); ("l2", Context.l2_config ctx ()) ]
 
-let all ctx = scheme ctx @ mattson ctx @ fit ctx
+(* ------------------------------------------------------------------ *)
+(* Oracle 4: profile-derived miss curves vs direct simulation          *)
+
+module Missrate = Nmcache_workload.Missrate
+module Profile = Nmcache_workload.Profile
+module Metrics = Nmcache_engine.Metrics
+
+(* the derivation layer inherits the Mattson-vs-direct tolerance: its
+   set-associative binomial correction must stay inside the same
+   absolute band the fully-associative approximation is held to *)
+let profile_abs_tol = setassoc_abs_tol
+
+(* direct measured simulation with the same warmup discipline the
+   profiles use: unmeasured first half, stats reset at the boundary *)
+let direct_l1_measured ~workload ~seed ~block ~size_bytes ~assoc ~n =
+  let gen = Registry.build ~seed workload in
+  let c = Cache.create ~size_bytes ~assoc ~block_bytes:block ~policy:Replacement.Lru () in
+  let warm = int_of_float (Profile.warmup_fraction *. float_of_int n) in
+  let feed (a : Access.t) = ignore (Cache.access c a.Access.addr ~write:a.Access.write) in
+  Gen.iter gen warm feed;
+  Cache.reset_stats c;
+  Gen.iter gen (n - warm) feed;
+  let st = Cache.stats c in
+  (st.Stats.misses, Stats.miss_rate st)
+
+let profile ctx =
+  Check.group ~name:"oracle.profile" @@ fun () ->
+  let block = ctx.Context.block_bytes in
+  let n = mattson_trace_len ctx in
+  let seed = ctx.Context.seed in
+  let sized =
+    List.concat_map
+      (fun workload ->
+        let prof = Profile.raw ~block ~seed ~workload ~n () in
+        (* exactness: fully-associative LRU derivation must equal the
+           direct simulation miss-for-miss, warmup included *)
+        let exact =
+          List.map
+            (fun cap ->
+              let direct, _ =
+                direct_l1_measured ~workload ~seed ~block ~size_bytes:(cap * block)
+                  ~assoc:cap ~n
+              in
+              let derived = Profile.misses_at prof ~capacity_blocks:cap in
+              Check.check
+                ~name:(Printf.sprintf "oracle.profile.fullassoc.%s.%dblk" workload cap)
+                (direct = derived)
+                (Printf.sprintf "direct %d misses vs derived %d over %d measured accesses"
+                   direct derived prof.Profile.accesses))
+            [ 64; 256 ]
+        in
+        (* the binomial set-associative correction behind the derived
+           L1 sweep, against direct set-associative LRU simulation *)
+        let corrected =
+          List.concat_map
+            (fun assoc ->
+              List.map
+                (fun size_bytes ->
+                  let _, direct_rate =
+                    direct_l1_measured ~workload ~seed ~block ~size_bytes ~assoc ~n
+                  in
+                  let derived =
+                    Profile.setassoc_miss_rate prof
+                      ~capacity_blocks:(size_bytes / block) ~assoc
+                  in
+                  let diff = Float.abs (derived -. direct_rate) in
+                  Check.check
+                    ~name:
+                      (Printf.sprintf "oracle.profile.%dway.%s.%dKB" assoc workload
+                         (size_bytes / 1024))
+                    (diff <= profile_abs_tol)
+                    (Printf.sprintf "direct %.4f vs derived %.4f (|diff| %.4f <= %.2f)"
+                       direct_rate derived diff profile_abs_tol))
+                [ 4 * 1024; 16 * 1024; 64 * 1024 ])
+            [ 4; 8 ]
+        in
+        (* the profile-backed l2_curve must reproduce the legacy
+           "L1-filter + Mattson fold" pass float-for-float — the
+           identity the committed goldens rely on *)
+        let l2_sizes = [| 256 * 1024; 1024 * 1024; 4 * 1024 * 1024 |] in
+        let curve_equiv =
+          let l1_size = ctx.Context.l1_size in
+          let derived =
+            Missrate.l2_curve ~seed ~block ~workload ~l1_size ~l2_sizes ~n ()
+          in
+          let gen = Registry.build ~seed workload in
+          let l1 =
+            Cache.create ~size_bytes:l1_size ~assoc:4 ~block_bytes:block
+              ~policy:Replacement.Lru ()
+          in
+          let profiler = Mattson.create ~block_bytes:block () in
+          let feed (a : Access.t) =
+            let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
+            if not o.Cache.hit then Mattson.access profiler a.Access.addr
+          in
+          let warm = int_of_float (Profile.warmup_fraction *. float_of_int n) in
+          Mattson.set_measuring profiler false;
+          Gen.iter gen warm feed;
+          Cache.reset_stats l1;
+          Mattson.set_measuring profiler true;
+          Gen.iter gen (n - warm) feed;
+          let caps = Array.map (fun s -> max 1 (s / block)) l2_sizes in
+          let legacy = Mattson.miss_ratio_curve profiler ~capacities:caps in
+          let legacy_l1 = Stats.miss_rate (Cache.stats l1) in
+          [
+            Check.check
+              ~name:(Printf.sprintf "oracle.profile.l2curve-identity.%s" workload)
+              (derived.Missrate.l2_local_rates = legacy
+              && derived.Missrate.l1_miss_rate = legacy_l1)
+              (Printf.sprintf "derived curve == legacy single-pass curve (l1 %.6f)"
+                 legacy_l1);
+          ]
+        in
+        exact @ corrected @ curve_equiv)
+      Registry.headline
+  in
+  (* traversal accounting: an L1×L2 grid must cost exactly one measured
+     traversal per (workload, L1 size) and zero per-point simulations.
+     A seed distinct from every other caller keeps the memo tables cold
+     regardless of check ordering. *)
+  let accounting =
+    let seed = Int64.add seed 7919L in
+    let workloads = [ "spec2000-mix"; "tpcc" ] in
+    let l1_sizes = [| 8 * 1024; 16 * 1024 |] in
+    let l2_sizes = [| 256 * 1024; 1024 * 1024; 4 * 1024 * 1024 |] in
+    let sims0 = Metrics.counter_value "cachesim.simulations" in
+    let profs0 = Metrics.counter_value "cachesim.mattson_curves" in
+    let _ = Missrate.grid ~seed ~workloads ~l1_sizes ~l2_sizes ~n () in
+    (* re-deriving at different L2 capacities must not traverse again *)
+    let _ =
+      Missrate.grid ~seed ~workloads ~l1_sizes ~l2_sizes:[| 512 * 1024; 2 * 1024 * 1024 |]
+        ~n ()
+    in
+    let sims = Metrics.counter_value "cachesim.simulations" - sims0 in
+    let profs = Metrics.counter_value "cachesim.mattson_curves" - profs0 in
+    let expected = List.length workloads * Array.length l1_sizes in
+    [
+      Check.check ~name:"oracle.profile.grid-traversals"
+        (profs = expected)
+        (Printf.sprintf "%d workloads x %d L1 sizes x %d L2 sizes -> %d traversals \
+                         (expected %d, L2 re-query free)"
+           (List.length workloads) (Array.length l1_sizes) (Array.length l2_sizes) profs
+           expected);
+      Check.check ~name:"oracle.profile.grid-no-pointwise-sims" (sims = 0)
+        (Printf.sprintf "%d per-point simulations during the grid (expected 0)" sims);
+    ]
+  in
+  sized @ accounting
+
+let all ctx = scheme ctx @ mattson ctx @ fit ctx @ profile ctx

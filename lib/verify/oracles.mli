@@ -1,7 +1,7 @@
 (** Differential oracles: independent reference implementations the
     production hot paths must agree with.
 
-    Three cross-checks, each pairing an optimised implementation with a
+    Four cross-checks, each pairing an optimised implementation with a
     brute-force or first-principles reference:
 
     - {!scheme}: exhaustive (Vth, Tox)-grid enumeration on a
@@ -19,7 +19,16 @@
       characterisation samples they were trained on — recomputed
       quality must reproduce the stored quality exactly and respect
       per-component residual bounds (R² ≥ 0.90, max relative residual
-      ≤ 60%).
+      ≤ 60%);
+    - {!profile}: the profile-once derivation layer vs direct
+      simulation — fully-associative derivations must match direct LRU
+      miss-for-miss (warmup included), the binomial set-associative
+      correction must stay within 0.03 absolute miss rate of direct
+      4-/8-way LRU, the profile-backed L2 curve must reproduce the
+      legacy single-pass fold float-for-float, and an L1×L2 grid must
+      cost exactly one measured traversal per (workload, L1 size) as
+      counted by the [cachesim.mattson_curves] /
+      [cachesim.simulations] metrics.
 
     All checks are deterministic for a fixed context (seeded traces,
     fixed grids) and independent of [--jobs]. *)
@@ -27,7 +36,8 @@
 val scheme : Core.Context.t -> Check.t list
 val mattson : Core.Context.t -> Check.t list
 val fit : Core.Context.t -> Check.t list
+val profile : Core.Context.t -> Check.t list
 
 val all : Core.Context.t -> Check.t list
-(** The three oracles, each behind its own {!Check.group} fault
+(** The four oracles, each behind its own {!Check.group} fault
     boundary, in the order above. *)

@@ -1,0 +1,166 @@
+module Cache = Nmcache_cachesim.Cache
+module Mattson = Nmcache_cachesim.Mattson
+module Replacement = Nmcache_cachesim.Replacement
+module Stats = Nmcache_cachesim.Stats
+module Memo = Nmcache_engine.Memo
+module Retry = Nmcache_engine.Retry
+module Deadline = Nmcache_engine.Deadline
+module Faultpoint = Nmcache_engine.Faultpoint
+
+type kind =
+  | Raw
+  | L1_filtered of { l1_size : int; l1_assoc : int }
+
+type t = {
+  workload : string;
+  kind : kind;
+  block : int;
+  seed : int64;
+  n : int;
+  accesses : int;
+  cold : int;
+  dists : int array;
+  counts : int array;
+  suffix : int array;
+  l1_miss_rate : float;
+}
+
+(* A warmup prefix of half the trace fills caches and the LRU stack
+   before counters start, so profiles reflect steady state rather than
+   cold-start — the same convention as direct simulation. *)
+let warmup_fraction = 0.5
+
+(* Cooperative deadline seam for the access loops: one poll every 4096
+   accesses bounds a wedged traversal without showing up in the
+   profile. *)
+let polled ~stage feed =
+  let count = ref 0 in
+  fun a ->
+    incr count;
+    if !count land 4095 = 0 then Deadline.poll ~stage;
+    feed a
+
+let cache : t Memo.t = Memo.create ~name:"workload.profiles" ()
+let clear_cache () = Memo.clear cache
+
+let key ~workload ~kind ~block ~seed ~n =
+  match kind with
+  | Raw -> Printf.sprintf "prof:raw:%s:%d:%Ld:%d" workload block seed n
+  | L1_filtered { l1_size; l1_assoc } ->
+    Printf.sprintf "prof:l1:%s:%d:%d:%d:%Ld:%d" workload l1_size l1_assoc block seed n
+
+(* One measured traversal of the trace: build the stack-distance CDF
+   (raw trace, or the L1 miss stream when [kind] filters).  This is the
+   only place in the derivation layer that touches the generator. *)
+let build ~workload ~kind ~block ~seed ~n =
+  let key = key ~workload ~kind ~block ~seed ~n in
+  Memo.find_or_compute cache key (fun () ->
+      (* the retry boundary sits inside the memo, so a transient
+         injected fault is recovered before any waiter sees it; the
+         fault point stays key-deterministic at any --jobs *)
+      Retry.run ~stage:"simulate" ~key (fun ~attempt ~last:_ ->
+          Faultpoint.hit ~attempt ~point:"simulate" ~key ();
+          let gen = Registry.build ~seed workload in
+          let profiler = Mattson.create ~block_bytes:block () in
+          let l1_opt, feed_raw =
+            match kind with
+            | Raw -> (None, fun (a : Access.t) -> Mattson.access profiler a.Access.addr)
+            | L1_filtered { l1_size; l1_assoc } ->
+              let l1 =
+                Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
+                  ~policy:Replacement.Lru ()
+              in
+              ( Some l1,
+                fun (a : Access.t) ->
+                  let o = Cache.access l1 a.Access.addr ~write:a.Access.write in
+                  if not o.Cache.hit then Mattson.access profiler a.Access.addr )
+          in
+          let feed = polled ~stage:"simulate" feed_raw in
+          let warm = int_of_float (warmup_fraction *. float_of_int n) in
+          Mattson.set_measuring profiler false;
+          Gen.iter gen warm feed;
+          (match l1_opt with Some l1 -> Cache.reset_stats l1 | None -> ());
+          Mattson.set_measuring profiler true;
+          Gen.iter gen (n - warm) feed;
+          Nmcache_engine.Metrics.incr "cachesim.mattson_curves";
+          let l1_miss_rate =
+            match l1_opt with
+            | Some l1 ->
+              Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
+              Stats.miss_rate (Cache.stats l1)
+            | None -> Float.nan
+          in
+          let dists, suffix = Mattson.cdf profiler in
+          let k = Array.length dists in
+          let counts =
+            Array.init k (fun i ->
+                if i + 1 < k then suffix.(i) - suffix.(i + 1) else suffix.(i))
+          in
+          {
+            workload;
+            kind;
+            block;
+            seed;
+            n;
+            accesses = Mattson.accesses profiler;
+            cold = Mattson.cold_misses profiler;
+            dists;
+            counts;
+            suffix;
+            l1_miss_rate;
+          }))
+
+let raw ?(block = 64) ?(seed = Registry.default_seed) ~workload ~n () =
+  build ~workload ~kind:Raw ~block ~seed ~n
+
+let l1_filtered ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~workload
+    ~l1_size ~n () =
+  build ~workload ~kind:(L1_filtered { l1_size; l1_assoc }) ~block ~seed ~n
+
+(* --- derivations: no trace traversal below this line ------------------- *)
+
+let misses_at t ~capacity_blocks =
+  if capacity_blocks <= 0 then invalid_arg "Profile.misses_at: capacity <= 0";
+  t.cold + Mattson.suffix_at ~dists:t.dists ~suffix:t.suffix capacity_blocks
+
+let miss_rate_at t ~capacity_blocks =
+  if t.accesses = 0 then 0.0
+  else float_of_int (misses_at t ~capacity_blocks) /. float_of_int t.accesses
+
+let curve t ~capacities = Array.map (fun c -> miss_rate_at t ~capacity_blocks:c) capacities
+
+(* Set-associative correction (Smith / Hill-style associativity model):
+   the d distinct blocks between consecutive uses of a line scatter
+   uniformly over S sets, so the line survives in an A-way set iff
+   fewer than A of them land in its own set —
+   P(miss | d) = P(Binomial(d, 1/S) >= A).  Exact when S = 1 (the
+   fully-associative stack condition d >= capacity); the binomial tail
+   is evaluated with a stable log-space start and a term recurrence. *)
+let setassoc_miss_rate t ~capacity_blocks ~assoc =
+  if capacity_blocks <= 0 then invalid_arg "Profile.setassoc_miss_rate: capacity <= 0";
+  if assoc < 1 then invalid_arg "Profile.setassoc_miss_rate: assoc < 1";
+  let sets = capacity_blocks / assoc in
+  if sets <= 1 then miss_rate_at t ~capacity_blocks
+  else if t.accesses = 0 then 0.0
+  else begin
+    let p = 1.0 /. float_of_int sets in
+    let q = 1.0 -. p in
+    let lq = log q in
+    let ratio = p /. q in
+    let warm = ref 0.0 in
+    for i = 0 to Array.length t.dists - 1 do
+      let d = t.dists.(i) in
+      (* fewer than [assoc] intervening blocks can never fill the set *)
+      if d >= assoc then begin
+        let pmf = ref (exp (float_of_int d *. lq)) in
+        let below = ref 0.0 in
+        for k = 0 to assoc - 1 do
+          below := !below +. !pmf;
+          pmf := !pmf *. (float_of_int (d - k) /. float_of_int (k + 1)) *. ratio
+        done;
+        let pmiss = Float.max 0.0 (1.0 -. !below) in
+        warm := !warm +. (float_of_int t.counts.(i) *. pmiss)
+      end
+    done;
+    (float_of_int t.cold +. !warm) /. float_of_int t.accesses
+  end

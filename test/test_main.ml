@@ -12,6 +12,7 @@ let () =
       ("fit", Test_fit.suite);
       ("cachesim", Test_cachesim.suite);
       ("mattson", Test_mattson.suite);
+      ("profile", Test_profile.suite);
       ("workload", Test_workload.suite);
       ("energy", Test_energy.suite);
       ("opt", Test_opt.suite);

@@ -126,6 +126,50 @@ let prop_workload_curve_monotone =
       done;
       !ok)
 
+(* The suffix-CDF answer path must agree exactly with the old
+   per-capacity histogram fold it replaced. *)
+let test_cdf_equals_fold () =
+  let m = Mattson.create ~block_bytes:64 () in
+  let rng = Rng.create ~seed:14L in
+  (* mixed locality: uniform noise plus a hot loop, with a warmup split
+     so cold accounting is exercised too *)
+  Mattson.set_measuring m false;
+  for _ = 1 to 5_000 do
+    Mattson.access m (64 * Rng.int rng ~bound:3000)
+  done;
+  Mattson.set_measuring m true;
+  for i = 1 to 25_000 do
+    let b = if i mod 3 = 0 then i mod 17 else Rng.int rng ~bound:3000 in
+    Mattson.access m (64 * b)
+  done;
+  let hist = Mattson.histogram m in
+  let cold = Mattson.cold_misses m in
+  let acc = Mattson.accesses m in
+  let caps = [| 1; 2; 3; 7; 16; 100; 256; 999; 4096; 1_000_000 |] in
+  let curve = Mattson.miss_ratio_curve m ~capacities:caps in
+  Array.iteri
+    (fun i cap ->
+      (* the pre-CDF implementation: one full fold per capacity *)
+      let warm = List.fold_left (fun s (d, c) -> if d >= cap then s + c else s) 0 hist in
+      let expected = float_of_int (cold + warm) /. float_of_int acc in
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d: cdf %.17g = fold %.17g" cap curve.(i) expected)
+        true
+        (curve.(i) = expected);
+      Alcotest.(check int)
+        (Printf.sprintf "misses_at agrees at %d" cap)
+        (cold + warm)
+        (Mattson.misses_at m ~capacity_blocks:cap))
+    caps;
+  (* the CDF arrays themselves: suffix at the smallest distance counts
+     every warm access; suffix beyond the largest counts none *)
+  let dists, suffix = Mattson.cdf m in
+  let total_warm = List.fold_left (fun s (_, c) -> s + c) 0 hist in
+  Alcotest.(check int) "suffix at 0 covers all warm accesses" total_warm
+    (Mattson.suffix_at ~dists ~suffix 0);
+  Alcotest.(check int) "suffix past max distance is empty" 0
+    (Mattson.suffix_at ~dists ~suffix (dists.(Array.length dists - 1) + 1))
+
 let test_validation () =
   Alcotest.(check bool) "bad block size" true
     (try
@@ -147,6 +191,7 @@ let suite =
     Alcotest.test_case "miss curve monotone" `Quick test_curve_monotone;
     Alcotest.test_case "measuring flag" `Quick test_measuring_flag;
     Alcotest.test_case "timestamp compaction" `Quick test_compaction;
+    Alcotest.test_case "suffix CDF = per-capacity fold" `Quick test_cdf_equals_fold;
     Alcotest.test_case "validation" `Quick test_validation;
   ]
   @ List.map Generators.to_alcotest

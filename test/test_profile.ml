@@ -1,0 +1,250 @@
+(* Tests for the profile-once derivation layer: pinned seed-suite stats
+   for the flat-array simulator, exactness and monotonicity of derived
+   curves, grid traversal accounting, and memo-key hygiene. *)
+
+module Cache = Nmcache_cachesim.Cache
+module Hierarchy = Nmcache_cachesim.Hierarchy
+module Intmap = Nmcache_cachesim.Intmap
+module Mattson = Nmcache_cachesim.Mattson
+module Replacement = Nmcache_cachesim.Replacement
+module Stats = Nmcache_cachesim.Stats
+module Metrics = Nmcache_engine.Metrics
+module Gen = Nmcache_workload.Gen
+module Access = Nmcache_workload.Access
+module Registry = Nmcache_workload.Registry
+module Missrate = Nmcache_workload.Missrate
+module Profile = Nmcache_workload.Profile
+module Rng = Nmcache_numerics.Rng
+
+let kb n = n * 1024
+
+(* --- flat-array simulator: pinned seed-suite stats ---------------------- *)
+
+(* These numbers were captured from the pre-refactor (Hashtbl-based)
+   simulator at seed 42; the shift/mask + Intmap hot loop must
+   reproduce every one of them byte-for-byte. *)
+
+let check_stats name (s : Stats.t) (acc, hits, misses, ra, wa, ev, wb, cold) =
+  Alcotest.(check (list int))
+    name
+    [ acc; hits; misses; ra; wa; ev; wb; cold ]
+    [
+      s.Stats.accesses; s.Stats.hits; s.Stats.misses; s.Stats.read_accesses;
+      s.Stats.write_accesses; s.Stats.evictions; s.Stats.writebacks;
+      s.Stats.cold_misses;
+    ]
+
+let run_cache ~workload ~size ~assoc ~block ~policy ~n =
+  let c = Cache.create ~size_bytes:size ~assoc ~block_bytes:block ~policy () in
+  let g = Registry.build ~seed:42L workload in
+  Gen.iter g n (fun a -> ignore (Cache.access c a.Access.addr ~write:a.Access.write));
+  Cache.stats c
+
+let test_pinned_single_level () =
+  let n = 200_000 in
+  check_stats "spec2000-mix 16K/4w lru"
+    (run_cache ~workload:"spec2000-mix" ~size:(kb 16) ~assoc:4 ~block:64
+       ~policy:Replacement.Lru ~n)
+    (200000, 188025, 11975, 139955, 60045, 11719, 10882, 7814);
+  check_stats "spec2000-mix 8K/2w fifo"
+    (run_cache ~workload:"spec2000-mix" ~size:(kb 8) ~assoc:2 ~block:64
+       ~policy:Replacement.Fifo ~n)
+    (200000, 182067, 17933, 139955, 60045, 17805, 16383, 7814);
+  check_stats "tpcc 16K/8w plru"
+    (run_cache ~workload:"tpcc" ~size:(kb 16) ~assoc:8 ~block:64 ~policy:Replacement.Plru
+       ~n)
+    (200000, 180788, 19212, 131799, 68201, 18956, 17081, 10930);
+  check_stats "specweb 4K/1w/32B lru"
+    (run_cache ~workload:"specweb" ~size:(kb 4) ~assoc:1 ~block:32 ~policy:Replacement.Lru
+       ~n)
+    (200000, 139150, 60850, 187969, 12031, 60722, 10923, 23876);
+  check_stats "tpcc 32K/4w random"
+    (run_cache ~workload:"tpcc" ~size:(kb 32) ~assoc:4 ~block:64
+       ~policy:(Replacement.Random 17) ~n)
+    (200000, 183676, 16324, 131799, 68201, 15812, 14862, 10930)
+
+let test_pinned_hierarchy () =
+  let l1 = Cache.create ~size_bytes:(kb 16) ~assoc:4 ~block_bytes:64 ~policy:Replacement.Lru () in
+  let l2 = Cache.create ~size_bytes:(kb 256) ~assoc:8 ~block_bytes:64 ~policy:Replacement.Lru () in
+  let h = Hierarchy.create ~l1 ~l2 in
+  let g = Registry.build ~seed:42L "spec2000-mix" in
+  Gen.iter g 200_000 (fun a -> ignore (Hierarchy.access h a.Access.addr ~write:a.Access.write));
+  check_stats "hierarchy L1" (Cache.stats l1)
+    (200000, 188025, 11975, 139955, 60045, 11719, 10882, 7814);
+  check_stats "hierarchy L2" (Cache.stats l2)
+    (22857, 14569, 8288, 11975, 10882, 4196, 3901, 7814);
+  Alcotest.(check int) "memory reads" 8288 (Hierarchy.memory_reads h);
+  Alcotest.(check int) "memory writes" 3901 (Hierarchy.memory_writes h)
+
+let test_pinned_mattson () =
+  let m = Mattson.create ~block_bytes:64 () in
+  let g = Registry.build ~seed:42L "tpcc" in
+  Gen.iter g 100_000 (fun a -> Mattson.access m a.Access.addr);
+  let hist = Mattson.histogram m in
+  Alcotest.(check (list int)) "profiler digest"
+    [ 100000; 5747; 5747; 927; 3162017; 18922; 9482; 5765 ]
+    [
+      Mattson.accesses m;
+      Mattson.cold_misses m;
+      Mattson.distinct_blocks m;
+      List.length hist;
+      List.fold_left (fun acc (d, c) -> acc + (d * c)) 0 hist;
+      Mattson.misses_at m ~capacity_blocks:16;
+      Mattson.misses_at m ~capacity_blocks:256;
+      Mattson.misses_at m ~capacity_blocks:4096;
+    ]
+
+(* --- Intmap ------------------------------------------------------------- *)
+
+let test_intmap_matches_hashtbl () =
+  let im = Intmap.create ~initial_capacity:16 () in
+  let ht = Hashtbl.create 16 in
+  let rng = Rng.create ~seed:15L in
+  for i = 1 to 20_000 do
+    let k = Rng.int rng ~bound:4_000 in
+    if i mod 5 = 0 then begin
+      let fresh_im = Intmap.add_if_absent im k in
+      let fresh_ht = not (Hashtbl.mem ht k) in
+      if fresh_ht then Hashtbl.replace ht k 0;
+      Alcotest.(check bool) "add_if_absent agrees" fresh_ht fresh_im
+    end
+    else begin
+      Intmap.replace im k i;
+      Hashtbl.replace ht k i
+    end
+  done;
+  Alcotest.(check int) "length" (Hashtbl.length ht) (Intmap.length im);
+  Hashtbl.iter
+    (fun k v -> Alcotest.(check int) (Printf.sprintf "key %d" k) v (Intmap.find im k ~default:(-1)))
+    ht;
+  Alcotest.(check bool) "absent key" true (Intmap.find im 999_999 ~default:(-1) = -1);
+  let sum_im = Intmap.fold (fun _ v acc -> acc + v) im 0 in
+  let sum_ht = Hashtbl.fold (fun _ v acc -> acc + v) ht 0 in
+  Alcotest.(check int) "fold sum" sum_ht sum_im;
+  Intmap.clear im;
+  Alcotest.(check int) "cleared" 0 (Intmap.length im);
+  Alcotest.(check bool) "reinsert after clear" true (Intmap.add_if_absent im 7)
+
+(* --- derived curves ------------------------------------------------------ *)
+
+(* Fully-associative derivation must equal direct simulation exactly,
+   warmup discipline included. *)
+let prop_fullassoc_exact =
+  QCheck.Test.make ~count:6 ~name:"fully-assoc derivation = direct simulation"
+    Generators.workload_arb
+    (fun workload ->
+      let n = 20_000 in
+      let prof = Profile.raw ~workload ~n () in
+      List.for_all
+        (fun cap ->
+          let c =
+            Cache.create ~size_bytes:(cap * 64) ~assoc:cap ~block_bytes:64
+              ~policy:Replacement.Lru ()
+          in
+          let g = Registry.build ~seed:Registry.default_seed workload in
+          let warm = int_of_float (Profile.warmup_fraction *. float_of_int n) in
+          let feed (a : Access.t) = ignore (Cache.access c a.Access.addr ~write:a.Access.write) in
+          Gen.iter g warm feed;
+          Cache.reset_stats c;
+          Gen.iter g (n - warm) feed;
+          (Cache.stats c).Stats.misses = Profile.misses_at prof ~capacity_blocks:cap)
+        [ 16; 64; 512 ])
+
+(* Derived curves are monotone non-increasing in capacity for every
+   associativity, including across the exact/corrected boundary. *)
+let prop_derived_monotone =
+  QCheck.Test.make ~count:10 ~name:"derived set-assoc curves monotone in capacity"
+    QCheck.(pair Generators.workload_arb (oneofl [ 1; 2; 4; 8 ]))
+    (fun (workload, assoc) ->
+      let prof = Profile.raw ~workload ~n:20_000 () in
+      let caps = [ assoc; 2 * assoc; 16; 64; 256; 1024; 4096; 16384 ] in
+      let caps = List.sort_uniq compare caps in
+      let rates =
+        List.map (fun c -> Profile.setassoc_miss_rate prof ~capacity_blocks:c ~assoc) caps
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a +. 1e-12 >= b && mono rest
+        | _ -> true
+      in
+      List.for_all (fun r -> r >= 0.0 && r <= 1.0) rates && mono rates)
+
+(* An L1×L2 grid costs exactly one measured traversal per
+   (workload, L1 size) and no per-point simulations; re-querying new
+   L2 capacities is free. *)
+let test_grid_traversal_accounting () =
+  let seed = 1_234_577L in
+  let workloads = [ "spec2000-mix"; "specweb" ] in
+  let l1_sizes = [| kb 8; kb 16; kb 32 |] in
+  let l2_sizes = [| kb 256; kb 1024; kb 4096 |] in
+  let n = 20_000 in
+  let sims0 = Metrics.counter_value "cachesim.simulations" in
+  let profs0 = Metrics.counter_value "cachesim.mattson_curves" in
+  let g = Missrate.grid ~seed ~workloads ~l1_sizes ~l2_sizes ~n () in
+  let g2 = Missrate.grid ~seed ~workloads ~l1_sizes ~l2_sizes:[| kb 512; kb 2048 |] ~n () in
+  let sims = Metrics.counter_value "cachesim.simulations" - sims0 in
+  let profs = Metrics.counter_value "cachesim.mattson_curves" - profs0 in
+  Alcotest.(check int) "one traversal per (workload, L1 size)"
+    (List.length workloads * Array.length l1_sizes)
+    profs;
+  Alcotest.(check int) "no per-point simulations" 0 sims;
+  (* the grid's averaged curves are bitwise those of averaged_l2_curve *)
+  Array.iteri
+    (fun i l1_size ->
+      let direct = Missrate.averaged_l2_curve ~seed ~workloads ~l1_size ~l2_sizes ~n () in
+      Alcotest.(check bool)
+        (Printf.sprintf "grid = averaged_l2_curve at %d" l1_size)
+        true
+        (g.Missrate.g_averaged.(i) = direct))
+    l1_sizes;
+  (* shape of the per-workload plane *)
+  Alcotest.(check int) "per-workload rows" (Array.length l1_sizes)
+    (Array.length g.Missrate.g_per_workload);
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "per-workload cols" (List.length workloads) (Array.length row))
+    g.Missrate.g_per_workload;
+  Alcotest.(check int) "requeried grid kept l2 sizes" 2
+    (Array.length g2.Missrate.g_l2_sizes)
+
+(* The derived LRU l1_sweep agrees with the profile it is defined by. *)
+let test_l1_sweep_derived () =
+  let seed = 1_234_578L in
+  let n = 20_000 in
+  let workload = "tpcc" in
+  let sizes = [| kb 4; kb 16; kb 64 |] in
+  let sweep = Missrate.l1_sweep ~seed ~workload ~l1_sizes:sizes ~n () in
+  let prof = Profile.raw ~seed ~workload ~n () in
+  Array.iteri
+    (fun i l1_size ->
+      let expected =
+        Profile.setassoc_miss_rate prof ~capacity_blocks:(l1_size / 64) ~assoc:4
+      in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "size %d" l1_size) expected sweep.(i))
+    sizes;
+  Alcotest.(check bool) "bigger L1 misses less" true (sweep.(2) < sweep.(0))
+
+(* --- memo-key hygiene ----------------------------------------------------- *)
+
+let test_combined_key_no_alias () =
+  Alcotest.(check bool) "[a+b] and [a;b] keys differ" true
+    (Missrate.combined_workloads_key [ "a+b" ]
+    <> Missrate.combined_workloads_key [ "a"; "b" ]);
+  Alcotest.(check bool) "[a;b+c] and [a+b;c] keys differ" true
+    (Missrate.combined_workloads_key [ "a"; "b+c" ]
+    <> Missrate.combined_workloads_key [ "a+b"; "c" ]);
+  Alcotest.(check string) "length-prefixed rendering" "3:a+b"
+    (Missrate.combined_workloads_key [ "a+b" ]);
+  Alcotest.(check string) "separator survives" "1:a+1:b"
+    (Missrate.combined_workloads_key [ "a"; "b" ])
+
+let suite =
+  [
+    Alcotest.test_case "pinned single-level stats" `Quick test_pinned_single_level;
+    Alcotest.test_case "pinned hierarchy stats" `Quick test_pinned_hierarchy;
+    Alcotest.test_case "pinned mattson digest" `Quick test_pinned_mattson;
+    Alcotest.test_case "intmap matches hashtbl" `Quick test_intmap_matches_hashtbl;
+    Alcotest.test_case "grid traversal accounting" `Quick test_grid_traversal_accounting;
+    Alcotest.test_case "l1 sweep is profile-derived" `Quick test_l1_sweep_derived;
+    Alcotest.test_case "combined key cannot alias" `Quick test_combined_key_no_alias;
+  ]
+  @ List.map Generators.to_alcotest [ prop_fullassoc_exact; prop_derived_monotone ]
