@@ -29,8 +29,11 @@ module Metrics = Nmcache_engine.Metrics
 
 (* v2: added the "resilience" section (retry / checkpoint / deadline
    counters), so perf-trajectory readers can spot runs whose wall time
-   was paid for by retries or rescued by resumed slots *)
-let bench_schema_version = 2
+   was paid for by retries or rescued by resumed slots
+   v3: added "digest" (the sweep scenario's numerical pin) and
+   "resource" (GC counters, heap sizes) — `ppcache bench diff` reads
+   both v2 and v3 *)
+let bench_schema_version = 3
 
 (* BENCH_<label>.json: the perf-trajectory data point this run
    contributes — per-experiment wall time (from the experiment spans),
@@ -40,7 +43,7 @@ let bench_schema_version = 2
    [scenario] names a dedicated scenario run ("sweep") so trajectory
    readers never compare a scenario wall time against a full
    reproduction; absent for the classic full run. *)
-let write_bench_json ?scenario ~label ~jobs ~quick ~wall_s () =
+let write_bench_json ?scenario ?digest ~label ~jobs ~quick ~wall_s () =
   let experiments =
     List.filter_map
       (fun (s : Span.span) ->
@@ -62,6 +65,9 @@ let write_bench_json ?scenario ~label ~jobs ~quick ~wall_s () =
       @ (match scenario with
         | None -> []
         | Some s -> [ ("scenario", Json.String s) ])
+      @ (match digest with
+        | None -> []
+        | Some d -> [ ("digest", Json.Float d) ])
       @ [
           ("wall_s", Json.Float wall_s);
           ("experiments", Json.List experiments);
@@ -70,6 +76,7 @@ let write_bench_json ?scenario ~label ~jobs ~quick ~wall_s () =
           ("metrics", Metrics.to_json ());
           ("faults", Obs.faults_json ());
           ("resilience", Obs.resilience_json ());
+          ("resource", Nmcache_engine.Resource.summary_json ());
         ])
   in
   let path = "BENCH_" ^ label ^ ".json" in
@@ -142,7 +149,8 @@ let sweep_scenario ctx ~mode =
   Printf.printf "[sweep grid digest %.6f]\n" !digest;
   Printf.printf "[trace traversals: %d simulations, %d mattson profiles]\n"
     (Metrics.counter_value "cachesim.simulations")
-    (Metrics.counter_value "cachesim.mattson_curves")
+    (Metrics.counter_value "cachesim.mattson_curves");
+  !digest
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
@@ -285,8 +293,34 @@ let () =
     in
     find 1
   in
-  (* --label L names the BENCH_<L>.json report (CI passes the branch) *)
+  (* --label L names the BENCH_<L>.json report (CI passes the branch);
+     the label becomes a filename component, so reject path separators
+     and anything else unsafe for BENCH_<label>.json *)
   let label = string_flag "--label" "local" in
+  let label_ok =
+    label <> ""
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '-' || c = '_' || c = '.')
+         label
+    && label.[0] <> '.'
+  in
+  if not label_ok then begin
+    Printf.eprintf
+      "bench: --label %S is not a safe BENCH_<label>.json filename component \
+       (use letters, digits, '-', '_', '.'; no leading '.')\n"
+      label;
+    exit 2
+  end;
+  (* --metrics-prom FILE writes the registry as OpenMetrics text after
+     the timed phases *)
+  let metrics_prom = string_flag "--metrics-prom" "" in
+  let write_metrics_prom () =
+    if metrics_prom <> "" then Obs.write_openmetrics ~path:metrics_prom
+  in
   (* --checkpoint DIR [--resume] journals phase-1 sweep slots like
      `ppcache run`; the resumed-slot counts land in the report's
      resilience section *)
@@ -318,10 +352,11 @@ let () =
     let mode = string_flag "--grid" "profile" in
     let t0 = Unix.gettimeofday () in
     Span.set_enabled true;
-    sweep_scenario ctx ~mode;
+    let digest = sweep_scenario ctx ~mode in
     let wall = Unix.gettimeofday () -. t0 in
     Printf.printf "sweep scenario wall time: %.2f s\n" wall;
-    write_bench_json ~scenario:"sweep" ~label ~jobs ~quick ~wall_s:wall ();
+    write_bench_json ~scenario:"sweep" ~digest ~label ~jobs ~quick ~wall_s:wall ();
+    write_metrics_prom ();
     exit 0
   | other ->
     Printf.eprintf "bench: unknown --scenario %S (expected sweep)\n" other;
@@ -350,6 +385,7 @@ let () =
       Nmcache_engine.Checkpoint.close j)
     journal;
   write_bench_json ~label ~jobs ~quick ~wall_s:(Unix.gettimeofday () -. t0) ();
+  write_metrics_prom ();
   (* microbenchmarks measure single-kernel latency: keep them off the
      domain pool — and stop collecting spans, bechamel would record
      thousands per closure — so the samples stay stable *)

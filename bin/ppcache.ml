@@ -53,6 +53,31 @@ let faults_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults-json" ] ~docv:"FILE" ~doc)
 
+let metrics_prom_arg =
+  let doc =
+    "Write the metrics registry in the OpenMetrics/Prometheus text exposition \
+     format to $(docv) — counters as ppcache_counter_total, gauges as \
+     ppcache_gauge, histograms as quantile summaries, each keyed by a name \
+     label."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-prom" ] ~docv:"FILE" ~doc)
+
+let events_arg =
+  let doc =
+    "Stream typed progress events (sweep_started, slot_done, \
+     checkpoint_replayed, experiment_done) as append-only NDJSON to $(docv).  \
+     Lines carry sequence numbers; stdout stays byte-identical at any \
+     $(b,--jobs)."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print human-readable progress lines to stderr as sweep slots complete.  \
+     Never touches stdout, so piped output stays byte-identical."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let fail_fast_arg =
   let doc =
     "Abort on the first experiment fault instead of completing the remaining \
@@ -139,19 +164,48 @@ let usage_guard f =
     Printf.eprintf "ppcache: %s\nppcache: exiting 2 (usage); see --help\n" msg;
     exit 2
 
+(* Report-file arguments must be plainly writable before the run
+   starts: an empty path, a missing parent directory or an existing
+   directory at the target is a usage error (exit 2), not a crash
+   after minutes of sweeping. *)
+let validate_out_path ~flag path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "ppcache: --%s: %s\n" flag msg;
+        exit 2)
+      fmt
+  in
+  if path = "" then fail "path is empty";
+  if path.[String.length path - 1] = '/' then fail "%S is a directory path" path;
+  (try if Sys.is_directory path then fail "%S is a directory" path
+   with Sys_error _ -> ());
+  let dir = Filename.dirname path in
+  if not (try Sys.is_directory dir with Sys_error _ -> false) then
+    fail "parent directory %S does not exist" dir
+
 (* Observability wrapper shared by the subcommands: span collection is
    enabled only when a trace file was requested (spans carry
    timestamps, so they stay out of the byte-compared experiment
    output); report files are written even if the command fails partway,
-   so a crashed run still leaves its trace behind. *)
-let with_observability ?(faults_json = None) ~trace ~trace_json ~metrics_json f =
+   so a crashed run still leaves its trace behind.  Event sinks are
+   armed before the body runs — and before any checkpoint journal
+   opens, so a resume's checkpoint_replayed event is captured. *)
+let with_observability ?(faults_json = None) ?(metrics_prom = None) ?(events = None)
+    ?(progress = false) ~trace ~trace_json ~metrics_json f =
+  Option.iter (fun path -> validate_out_path ~flag:"events" path) events;
+  Option.iter (fun path -> validate_out_path ~flag:"metrics-prom" path) metrics_prom;
+  Option.iter (fun path -> Nmcache_engine.Events.set_file path) events;
+  if progress then Nmcache_engine.Events.set_progress true;
   if trace_json <> None then Nmcache_engine.Span.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
       if trace then print_string (Nmcache_engine.Trace.summary ());
       Option.iter (fun path -> Nmcache_engine.Obs.write_trace ~path) trace_json;
       Option.iter (fun path -> Nmcache_engine.Obs.write_metrics ~path) metrics_json;
-      Option.iter (fun path -> Nmcache_engine.Obs.write_faults ~path) faults_json)
+      Option.iter (fun path -> Nmcache_engine.Obs.write_faults ~path) faults_json;
+      Option.iter (fun path -> Nmcache_engine.Obs.write_openmetrics ~path) metrics_prom;
+      Nmcache_engine.Events.close ())
     f
 
 let context quick = if quick then Core.Context.quick () else Core.Context.default ()
@@ -174,7 +228,7 @@ let print_heading (e : Core.Experiments.t) =
     e.Core.Experiments.paper_ref
 
 let run_experiment ids quick csv jobs fail_fast checkpoint resume retries deadline
-    trace trace_json metrics_json faults_json =
+    trace trace_json metrics_json faults_json metrics_prom events progress =
   set_jobs jobs;
   set_resilience ~retries ~deadline;
   let ctx = context quick in
@@ -193,8 +247,11 @@ let run_experiment ids quick csv jobs fail_fast checkpoint resume retries deadli
   in
   let faulted = ref 0 in
   let aborted = ref None in
+  (* observability outside the checkpoint: event sinks must be armed
+     before the journal replays so checkpoint_replayed is captured *)
+  with_observability ~faults_json ~metrics_prom ~events ~progress ~trace ~trace_json
+    ~metrics_json (fun () ->
   with_checkpoint ~checkpoint ~resume (fun () ->
-  with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
       (* kernels run (possibly in parallel) first; output prints in
          registry order afterwards, so the bytes never depend on
          --jobs.  Fault-injection decisions are key-deterministic, so
@@ -255,7 +312,8 @@ let run_cmd =
     Term.(
       const run_experiment $ ids $ quick_arg $ csv $ jobs_arg $ fail_fast_arg
       $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
-      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
+      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg
+      $ metrics_prom_arg $ events_arg $ progress_arg)
 
 (* --- list ------------------------------------------------------------ *)
 
@@ -434,7 +492,8 @@ module Verify = Nmcache_verify
 let verify_sections = [ "oracles"; "anchors"; "golden" ]
 
 let verify sections quick golden_dir update_golden report_json jobs checkpoint resume
-    retries deadline trace trace_json metrics_json faults_json =
+    retries deadline trace trace_json metrics_json faults_json metrics_prom events
+    progress =
   set_jobs jobs;
   set_resilience ~retries ~deadline;
   List.iter
@@ -449,8 +508,9 @@ let verify sections quick golden_dir update_golden report_json jobs checkpoint r
   let on = List.mem in
   let ctx = context quick in
   let checks = ref [] in
+  with_observability ~faults_json ~metrics_prom ~events ~progress ~trace ~trace_json
+    ~metrics_json (fun () ->
   with_checkpoint ~checkpoint ~resume (fun () ->
-  with_observability ~faults_json ~trace ~trace_json ~metrics_json (fun () ->
       (* a crashed section settles as one CRASH check via the group
          fault boundary, so later sections still run and the report
          stays complete *)
@@ -467,10 +527,8 @@ let verify sections quick golden_dir update_golden report_json jobs checkpoint r
           let report =
             Nmcache_engine.Obs.verify_report ~checks:(Verify.Check.to_json !checks)
           in
-          let oc = open_out path in
-          output_string oc (Nmcache_engine.Json.to_string report);
-          output_char oc '\n';
-          close_out oc)
+          Nmcache_engine.Obs.write_text ~path
+            (Nmcache_engine.Json.to_string report ^ "\n"))
         report_json));
   if not (Verify.Check.all_passed !checks) then exit 1
 
@@ -517,7 +575,55 @@ let verify_cmd =
     Term.(
       const verify $ sections $ quick_arg $ golden_dir $ update_golden $ report_json
       $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
-      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg)
+      $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg
+      $ metrics_prom_arg $ events_arg $ progress_arg)
+
+(* --- bench diff -------------------------------------------------------- *)
+
+module Bench_diff = Nmcache_engine.Bench_diff
+
+let bench_diff a_path b_path gate =
+  let load path =
+    try Bench_diff.load path
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "ppcache: bench diff: %s\n" msg;
+      exit 2
+  in
+  (match gate with
+  | Some r when r <= 0.0 ->
+    Printf.eprintf "ppcache: --gate must be > 0, got %g\n" r;
+    exit 2
+  | _ -> ());
+  let a = load a_path and b = load b_path in
+  print_string (Bench_diff.render a b);
+  match gate with
+  | None -> ()
+  | Some ratio ->
+    print_endline (Bench_diff.gate_verdict ~ratio a b);
+    if Bench_diff.gate_exceeded ~ratio a b then exit 1
+
+let bench_diff_cmd =
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.json" ~doc:"Baseline bench report.") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.json" ~doc:"Candidate bench report.") in
+  let gate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"RATIO"
+          ~doc:
+            "Fail (exit 1) when B's wall time exceeds $(docv) times A's.  The \
+             CI regression policy is 1.5.")
+  in
+  let doc =
+    "Compare two BENCH_<label>.json trajectory reports (bench schema v2 or \
+     v3): wall time, per-experiment and per-stage walls, memo hit rates, \
+     digests and resource counters, as a per-metric delta table."
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const bench_diff $ a $ b $ gate)
+
+let bench_cmd =
+  let doc = "Bench-trajectory tools (see $(b,ppcache bench diff --help))." in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_diff_cmd ]
 
 (* --- workloads --------------------------------------------------------- *)
 
@@ -534,7 +640,15 @@ let workloads_cmd =
 let main =
   let doc = "power-performance trade-offs in nanometer-scale multi-level caches (DATE'05 reproduction)" in
   Cmd.group (Cmd.info "ppcache" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; characterize_cmd; simulate_cmd; verify_cmd; workloads_cmd ]
+    [
+      run_cmd;
+      list_cmd;
+      characterize_cmd;
+      simulate_cmd;
+      verify_cmd;
+      bench_cmd;
+      workloads_cmd;
+    ]
 
 let () =
   (* arm deterministic fault injection before any subcommand runs; a

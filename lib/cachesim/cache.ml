@@ -221,3 +221,7 @@ let valid_blocks t =
     done
   done;
   !acc
+
+(* expose the first-touch set's probe-length counts so the profile
+   layer can drain them into the Metrics registry after a traversal *)
+let drain_probe_hist t = Intmap.drain_probe_hist t.seen

@@ -42,3 +42,7 @@ val reset_stats : t -> unit
 
 val valid_blocks : t -> int list
 (** Block numbers currently resident (unordered); for tests. *)
+
+val drain_probe_hist : t -> int array
+(** {!Intmap.drain_probe_hist} of the internal first-touch set:
+    probe-length counts since the last drain, then zeroed. *)

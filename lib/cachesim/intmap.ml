@@ -5,12 +5,20 @@
    non-negative (block numbers, timestamps); [min_int] marks an empty
    slot. *)
 
+(* probe-length accounting: bucket i counts lookups that inspected i
+   extra slots past the first (0 = direct hit); the last bucket
+   aggregates 16+.  Kept per map as a plain array bump — the hot loops
+   must never touch a lock — and drained into the Metrics registry in
+   bulk by the profile layer. *)
+let probe_hist_buckets = 17
+
 type t = {
   mutable keys : int array;
   mutable vals : int array;
   mutable mask : int;          (* capacity - 1; capacity a power of two *)
   mutable size : int;
   mutable limit : int;         (* grow when [size] reaches this *)
+  probe_hist : int array;
 }
 
 let empty_key = min_int
@@ -25,7 +33,14 @@ let limit_of capacity = capacity - (capacity / 4) (* 0.75 load factor *)
 let create ?(initial_capacity = 16) () =
   let capacity = pow2_at_least (max 16 initial_capacity) 16 in
   let keys, vals = make_arrays capacity in
-  { keys; vals; mask = capacity - 1; size = 0; limit = limit_of capacity }
+  {
+    keys;
+    vals;
+    mask = capacity - 1;
+    size = 0;
+    limit = limit_of capacity;
+    probe_hist = Array.make probe_hist_buckets 0;
+  }
 
 (* Fibonacci-style multiplicative mix: consecutive block numbers (the
    common case for streaming workloads) must not collide into one probe
@@ -40,6 +55,27 @@ let rec probe keys mask k i =
   let slot = i land mask in
   let cur = keys.(slot) in
   if cur = k || cur = empty_key then slot else probe keys mask k (i + 1)
+
+(* the counted variant used by the public operations; [grow]'s rehash
+   keeps the free [probe] so resizes don't pollute the histogram *)
+let probe_counted t k =
+  let keys = t.keys and mask = t.mask in
+  let rec go i n =
+    let slot = i land mask in
+    let cur = keys.(slot) in
+    if cur = k || cur = empty_key then begin
+      let b = if n >= probe_hist_buckets then probe_hist_buckets - 1 else n in
+      t.probe_hist.(b) <- t.probe_hist.(b) + 1;
+      slot
+    end
+    else go (i + 1) (n + 1)
+  in
+  go (hash k) 0
+
+let drain_probe_hist t =
+  let out = Array.copy t.probe_hist in
+  Array.fill t.probe_hist 0 probe_hist_buckets 0;
+  out
 
 let grow t =
   let capacity = (t.mask + 1) * 2 in
@@ -60,16 +96,16 @@ let grow t =
   t.limit <- limit_of capacity
 
 let find t k ~default =
-  let slot = probe t.keys t.mask k (hash k) in
+  let slot = probe_counted t k in
   if t.keys.(slot) = k then t.vals.(slot) else default
 
 let mem t k =
-  let slot = probe t.keys t.mask k (hash k) in
+  let slot = probe_counted t k in
   t.keys.(slot) = k
 
 let replace t k v =
   if k < 0 then invalid_arg "Intmap.replace: negative key";
-  let slot = probe t.keys t.mask k (hash k) in
+  let slot = probe_counted t k in
   if t.keys.(slot) = k then t.vals.(slot) <- v
   else begin
     t.keys.(slot) <- k;
@@ -80,7 +116,7 @@ let replace t k v =
 
 let add_if_absent t k =
   if k < 0 then invalid_arg "Intmap.add_if_absent: negative key";
-  let slot = probe t.keys t.mask k (hash k) in
+  let slot = probe_counted t k in
   if t.keys.(slot) = k then false
   else begin
     t.keys.(slot) <- k;

@@ -34,3 +34,14 @@ val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val clear : t -> unit
 (** Remove all bindings, keeping the allocated capacity. *)
+
+val probe_hist_buckets : int
+(** Number of probe-length buckets (17): index [i < 16] counts lookups
+    that inspected [i] slots past the first (0 = direct hit), the last
+    bucket aggregates 16 and beyond. *)
+
+val drain_probe_hist : t -> int array
+(** Return the per-map probe-length counts accumulated since creation
+    (or the last drain) and zero them.  [grow]'s internal rehash does
+    not count.  The profile layer drains this into the Metrics
+    registry after each trace traversal. *)

@@ -178,3 +178,7 @@ let miss_ratio_curve t ~capacities =
         float_of_int (t.cold_measured + suffix_at ~dists ~suffix c)
         /. float_of_int t.accesses)
     capacities
+
+(* expose the last-access map's probe-length counts so the profile
+   layer can drain them into the Metrics registry after a traversal *)
+let drain_probe_hist t = Intmap.drain_probe_hist t.last_access

@@ -63,3 +63,7 @@ val miss_ratio_curve : t -> capacities:int array -> float array
 (** Vectorised {!miss_rate_at}, answered from one {!cdf} build instead
     of one histogram fold per capacity.  Raises [Invalid_argument] on a
     capacity ≤ 0. *)
+
+val drain_probe_hist : t -> int array
+(** {!Intmap.drain_probe_hist} of the internal block → last-access
+    map: probe-length counts since the last drain, then zeroed. *)

@@ -131,10 +131,15 @@ let ids = List.map (fun e -> e.id) all
    by name while its siblings complete *)
 let kernel ctx (e : t) =
   Nmcache_engine.Faultpoint.hit ~point:"experiment" ~key:e.id ();
-  Nmcache_engine.Span.with_span
-    ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
-    ("experiment:" ^ e.id)
-    (fun () -> e.run ctx)
+  let artefacts =
+    Nmcache_engine.Span.with_span
+      ~attrs:[ ("id", Nmcache_engine.Json.String e.id) ]
+      ("experiment:" ^ e.id)
+      (fun () -> e.run ctx)
+  in
+  if Nmcache_engine.Events.enabled () then
+    Nmcache_engine.Events.emit (Nmcache_engine.Events.Experiment_done { id = e.id });
+  artefacts
 
 (* the slot key joins the experiment id with the context fingerprint:
    a checkpoint journal is only ever replayed into the run that would

@@ -1,0 +1,261 @@
+(* Bench-trajectory analyzer: compare any two BENCH_<label>.json
+   reports and render a per-metric delta table.
+
+   Reads both bench schema v2 (the committed BENCH_baseline.json /
+   BENCH_pr6.json trajectory points) and v3 (adds "digest" and
+   "resource") — missing sections simply don't produce rows, so old
+   and new reports diff against each other freely.
+
+   The gate is a wall-time ratio: [--gate R] fails (exit 1 in the CLI)
+   when wall_s(B) > R * wall_s(A), with A conventionally the older /
+   baseline report.  R = 1.5 is the CI policy inherited from the
+   bench-smoke check this tool replaces. *)
+
+type stage = { s_name : string; s_calls : int; s_wall_s : float }
+type memo = { m_name : string; m_hits : int; m_misses : int }
+
+type report = {
+  path : string;
+  schema_version : int;
+  label : string;
+  scenario : string option;
+  jobs : int;
+  quick : bool;
+  wall_s : float;
+  experiments : (string * float) list; (* id, wall_s *)
+  stages : stage list;
+  memos : memo list;
+  digest : float option; (* schema >= 3 *)
+  resource : Json.t option; (* schema >= 3 *)
+}
+
+let str_field j name = Option.bind (Json.member name j) Json.to_str
+let int_field j name = Option.bind (Json.member name j) Json.to_int
+let float_field j name = Option.bind (Json.member name j) Json.to_float
+
+let require path what = function
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing or malformed %s" path what)
+
+let of_json ~path j =
+  let list_field name =
+    match Option.bind (Json.member name j) Json.to_list with
+    | Some l -> l
+    | None -> []
+  in
+  {
+    path;
+    schema_version = require path "schema_version" (int_field j "schema_version");
+    label = require path "label" (str_field j "label");
+    scenario = str_field j "scenario";
+    jobs = Option.value ~default:1 (int_field j "jobs");
+    quick =
+      (match Json.member "quick" j with Some (Json.Bool b) -> b | _ -> false);
+    wall_s = require path "wall_s" (float_field j "wall_s");
+    experiments =
+      List.filter_map
+        (fun e ->
+          match (str_field e "id", float_field e "wall_s") with
+          | Some id, Some w -> Some (id, w)
+          | _ -> None)
+        (list_field "experiments");
+    stages =
+      List.filter_map
+        (fun s ->
+          match (str_field s "name", float_field s "wall_s") with
+          | Some n, Some w ->
+            Some
+              {
+                s_name = n;
+                s_calls = Option.value ~default:0 (int_field s "calls");
+                s_wall_s = w;
+              }
+          | _ -> None)
+        (list_field "stages");
+    memos =
+      List.filter_map
+        (fun m ->
+          match (str_field m "name", int_field m "hits", int_field m "misses") with
+          | Some n, Some h, Some mi -> Some { m_name = n; m_hits = h; m_misses = mi }
+          | _ -> None)
+        (list_field "memo");
+    digest = float_field j "digest";
+    resource = Json.member "resource" j;
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse text with
+  | Ok j -> of_json ~path j
+  | Error msg -> failwith (Printf.sprintf "%s: not valid JSON (%s)" path msg)
+
+(* ---- delta table ----------------------------------------------------- *)
+
+type row = {
+  metric : string;
+  a : string; (* rendered values; "-" when the side lacks the metric *)
+  b : string;
+  delta : string;
+}
+
+let ratio_str a b =
+  if a > 0.0 then Printf.sprintf "%+.1f%% (x%.2f)" ((b /. a -. 1.0) *. 100.0) (b /. a)
+  else "-"
+
+let secs v = Printf.sprintf "%.3f s" v
+
+let hit_rate (m : memo) =
+  let total = m.m_hits + m.m_misses in
+  if total = 0 then None else Some (float_of_int m.m_hits /. float_of_int total)
+
+(* union of names from both sides, A-side order first so the table is
+   stable under argument swap up to the trailing B-only rows *)
+let union_names names_a names_b =
+  names_a @ List.filter (fun n -> not (List.mem n names_a)) names_b
+
+let rows (a : report) (b : report) =
+  let wall =
+    {
+      metric = "wall_s";
+      a = secs a.wall_s;
+      b = secs b.wall_s;
+      delta = ratio_str a.wall_s b.wall_s;
+    }
+  in
+  let experiments =
+    union_names (List.map fst a.experiments) (List.map fst b.experiments)
+    |> List.map (fun id ->
+           let va = List.assoc_opt id a.experiments in
+           let vb = List.assoc_opt id b.experiments in
+           {
+             metric = "experiment " ^ id;
+             a = (match va with Some v -> secs v | None -> "-");
+             b = (match vb with Some v -> secs v | None -> "-");
+             delta =
+               (match (va, vb) with
+               | Some va, Some vb -> ratio_str va vb
+               | _ -> "-");
+           })
+  in
+  let stage_of r n = List.find_opt (fun s -> s.s_name = n) r.stages in
+  let stages =
+    union_names
+      (List.map (fun s -> s.s_name) a.stages)
+      (List.map (fun s -> s.s_name) b.stages)
+    |> List.map (fun n ->
+           let sa = stage_of a n and sb = stage_of b n in
+           {
+             metric = "stage " ^ n;
+             a = (match sa with Some s -> secs s.s_wall_s | None -> "-");
+             b = (match sb with Some s -> secs s.s_wall_s | None -> "-");
+             delta =
+               (match (sa, sb) with
+               | Some sa, Some sb -> ratio_str sa.s_wall_s sb.s_wall_s
+               | _ -> "-");
+           })
+  in
+  let memo_of r n = List.find_opt (fun m -> m.m_name = n) r.memos in
+  let memos =
+    union_names
+      (List.map (fun m -> m.m_name) a.memos)
+      (List.map (fun m -> m.m_name) b.memos)
+    |> List.map (fun n ->
+           let render m =
+             match Option.bind m hit_rate with
+             | Some r -> Printf.sprintf "%.1f%% hits" (100.0 *. r)
+             | None -> "-"
+           in
+           {
+             metric = "memo " ^ n;
+             a = render (memo_of a n);
+             b = render (memo_of b n);
+             delta = "";
+           })
+  in
+  let digest =
+    match (a.digest, b.digest) with
+    | None, None -> []
+    | da, db ->
+      [
+        {
+          metric = "digest";
+          a = (match da with Some d -> Printf.sprintf "%.6f" d | None -> "-");
+          b = (match db with Some d -> Printf.sprintf "%.6f" d | None -> "-");
+          delta =
+            (match (da, db) with
+            | Some da, Some db when da = db -> "identical"
+            | Some _, Some _ -> "DIFFERS"
+            | _ -> "-");
+        };
+      ]
+  in
+  let resource_row name r =
+    Option.bind r.resource (fun res ->
+        Option.bind (Json.member name res) Json.to_float)
+  in
+  let resources =
+    List.filter_map
+      (fun (field, label) ->
+        let va = resource_row field a and vb = resource_row field b in
+        if va = None && vb = None then None
+        else
+          Some
+            {
+              metric = label;
+              a = (match va with Some v -> Printf.sprintf "%.3g" v | None -> "-");
+              b = (match vb with Some v -> Printf.sprintf "%.3g" v | None -> "-");
+              delta =
+                (match (va, vb) with
+                | Some va, Some vb -> ratio_str va vb
+                | _ -> "-");
+            })
+      [
+        ("allocated_words", "resource allocated_words");
+        ("peak_heap_words", "resource peak_heap_words");
+        ("major_collections", "resource major_collections");
+      ]
+  in
+  (wall :: experiments) @ stages @ memos @ digest @ resources
+
+let render (a : report) (b : report) =
+  let buf = Buffer.create 1024 in
+  let describe (r : report) =
+    Printf.sprintf "%s (label %s, schema v%d%s, jobs %d%s)" r.path r.label
+      r.schema_version
+      (match r.scenario with Some s -> ", scenario " ^ s | None -> "")
+      r.jobs
+      (if r.quick then ", quick" else "")
+  in
+  Buffer.add_string buf (Printf.sprintf "A: %s\nB: %s\n\n" (describe a) (describe b));
+  let table = rows a b in
+  let w_metric =
+    List.fold_left (fun w r -> max w (String.length r.metric)) 6 table
+  in
+  let w_a = List.fold_left (fun w r -> max w (String.length r.a)) 1 table in
+  let w_b = List.fold_left (fun w r -> max w (String.length r.b)) 1 table in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %*s  %*s  %s\n" w_metric "metric" w_a "A" w_b "B"
+       "delta (B vs A)");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %*s  %*s  %s\n" w_metric r.metric w_a r.a w_b r.b
+           r.delta))
+    table;
+  Buffer.contents buf
+
+(* gate: B regressed past [ratio] times A's wall time *)
+let gate_exceeded ~ratio (a : report) (b : report) = b.wall_s > ratio *. a.wall_s
+
+let gate_verdict ~ratio a b =
+  if gate_exceeded ~ratio a b then
+    Printf.sprintf "GATE FAIL: wall_s %.3f s > %.2f x %.3f s (= %.3f s)" b.wall_s
+      ratio a.wall_s (ratio *. a.wall_s)
+  else
+    Printf.sprintf "gate ok: wall_s %.3f s <= %.2f x %.3f s (= %.3f s)" b.wall_s
+      ratio a.wall_s (ratio *. a.wall_s)

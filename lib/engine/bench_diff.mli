@@ -1,0 +1,50 @@
+(** Bench-trajectory analyzer: parse two [BENCH_<label>.json] reports
+    and render a per-metric delta table — the tool behind
+    [ppcache bench diff A.json B.json [--gate R]].
+
+    Accepts bench schema v2 (the committed trajectory points) and v3
+    (adds ["digest"] and ["resource"]); sections a report lacks simply
+    produce no rows, so mixed-version diffs work.
+
+    Gate semantics: with ratio [R], the gate fails when
+    [wall_s(B) > R *. wall_s(A)] — A is conventionally the baseline.
+    The CI policy is R = 1.5. *)
+
+type stage = { s_name : string; s_calls : int; s_wall_s : float }
+type memo = { m_name : string; m_hits : int; m_misses : int }
+
+type report = {
+  path : string;
+  schema_version : int;
+  label : string;
+  scenario : string option;
+  jobs : int;
+  quick : bool;
+  wall_s : float;
+  experiments : (string * float) list;  (** (id, wall_s) *)
+  stages : stage list;
+  memos : memo list;
+  digest : float option;   (** schema >= 3 *)
+  resource : Json.t option;  (** schema >= 3 *)
+}
+
+val of_json : path:string -> Json.t -> report
+(** Raises [Failure] naming [path] when a required field
+    (schema_version, label, wall_s) is missing or malformed. *)
+
+val load : string -> report
+(** Read and parse a report file; raises [Failure] on unreadable or
+    invalid input. *)
+
+val render : report -> report -> string
+(** The delta table: one header line per report, then aligned rows for
+    wall time, per-experiment walls, stage walls, memo hit rates,
+    digest equality and resource counters.  Ratios render as
+    [+NN.N% (xR.RR)]. *)
+
+val gate_exceeded : ratio:float -> report -> report -> bool
+(** [gate_exceeded ~ratio a b] is true when [b.wall_s > ratio *.
+    a.wall_s]. *)
+
+val gate_verdict : ratio:float -> report -> report -> string
+(** One-line verdict ("gate ok: …" / "GATE FAIL: …") for the CLI. *)

@@ -154,7 +154,11 @@ let open_ ~dir ~resume =
     else open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
   in
   let replayed = Hashtbl.length table in
-  if replayed > 0 then Metrics.incr ~by:replayed "checkpoint.replayed";
+  if replayed > 0 then begin
+    Metrics.incr ~by:replayed "checkpoint.replayed";
+    if Events.enabled () then
+      Events.emit (Events.Checkpoint_replayed { dir; replayed })
+  end;
   if !dropped then Metrics.incr "checkpoint.dropped";
   {
     dir;

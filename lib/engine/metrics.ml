@@ -41,36 +41,42 @@ let set_gauge name v =
       | Some r -> r := v
       | None -> Hashtbl.replace gauges name (ref v))
 
-let observe name v =
-  Mutex.protect mutex (fun () ->
+(* shared by observe/observe_n; caller holds the registry mutex *)
+let observe_locked name v ~count =
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
       let h =
-        match Hashtbl.find_opt histograms name with
-        | Some h -> h
-        | None ->
-          let h =
-            {
-              count = 0;
-              sum = 0.0;
-              min_v = Float.infinity;
-              max_v = Float.neg_infinity;
-              zeros = 0;
-              buckets = Hashtbl.create 16;
-            }
-          in
-          Hashtbl.replace histograms name h;
-          h
+        {
+          count = 0;
+          sum = 0.0;
+          min_v = Float.infinity;
+          max_v = Float.neg_infinity;
+          zeros = 0;
+          buckets = Hashtbl.create 16;
+        }
       in
-      h.count <- h.count + 1;
-      h.sum <- h.sum +. v;
-      if v < h.min_v then h.min_v <- v;
-      if v > h.max_v then h.max_v <- v;
-      if v <= 0.0 then h.zeros <- h.zeros + 1
-      else begin
-        let i = int_of_float (Float.floor (Float.log v /. bucket_width)) in
-        match Hashtbl.find_opt h.buckets i with
-        | Some r -> Stdlib.incr r
-        | None -> Hashtbl.replace h.buckets i (ref 1)
-      end)
+      Hashtbl.replace histograms name h;
+      h
+  in
+  h.count <- h.count + count;
+  h.sum <- h.sum +. (v *. float_of_int count);
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  if v <= 0.0 then h.zeros <- h.zeros + count
+  else begin
+    let i = int_of_float (Float.floor (Float.log v /. bucket_width)) in
+    match Hashtbl.find_opt h.buckets i with
+    | Some r -> r := !r + count
+    | None -> Hashtbl.replace h.buckets i (ref count)
+  end
+
+let observe name v = Mutex.protect mutex (fun () -> observe_locked name v ~count:1)
+
+let observe_n name v ~count =
+  if count < 0 then invalid_arg "Metrics.observe_n: negative count";
+  if count > 0 then Mutex.protect mutex (fun () -> observe_locked name v ~count)
 
 let counter_value name =
   Mutex.protect mutex (fun () ->
@@ -164,6 +170,96 @@ let to_json () =
                    ] ))
              s.histograms) );
     ]
+
+(* ---- OpenMetrics text exposition ------------------------------------- *)
+
+(* Escaping rules from the OpenMetrics/Prometheus text format: label
+   values escape backslash, double-quote and newline; HELP text escapes
+   backslash and newline only. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips any float; strip OCaml's "inf"/"nan" spellings to
+   the exposition-format ones *)
+let om_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+(* The registry's dotted metric names become the [name] label of three
+   fixed families — ppcache_counter / ppcache_gauge /
+   ppcache_histogram — so arbitrary registry names never have to be
+   sanitised into metric identifiers.  Histograms export as summaries
+   (quantile series plus _sum/_count): the registry stores log-bucket
+   quantile estimates, not cumulative le-buckets. *)
+let to_openmetrics () =
+  let s = snapshot () in
+  let b = Buffer.create 4096 in
+  let meta family typ help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" family (escape_help help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" family typ)
+  in
+  if s.counters <> [] then begin
+    meta "ppcache_counter" "counter" "ppcache registry counters, keyed by the name label.";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "ppcache_counter_total{name=\"%s\"} %d\n"
+             (escape_label_value name) v))
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    meta "ppcache_gauge" "gauge" "ppcache registry gauges, keyed by the name label.";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "ppcache_gauge{name=\"%s\"} %s\n"
+             (escape_label_value name) (om_float v)))
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    meta "ppcache_histogram" "summary"
+      "ppcache registry histograms as quantile summaries, keyed by the name label.";
+    List.iter
+      (fun (name, (h : histogram_summary)) ->
+        let n = escape_label_value name in
+        let q label v =
+          Buffer.add_string b
+            (Printf.sprintf "ppcache_histogram{name=\"%s\",quantile=\"%s\"} %s\n"
+               n label (om_float v))
+        in
+        q "0.5" h.p50;
+        q "0.9" h.p90;
+        q "0.99" h.p99;
+        Buffer.add_string b
+          (Printf.sprintf "ppcache_histogram_sum{name=\"%s\"} %s\n" n (om_float h.sum));
+        Buffer.add_string b
+          (Printf.sprintf "ppcache_histogram_count{name=\"%s\"} %d\n" n h.count))
+      s.histograms
+  end;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
 
 let reset () =
   Mutex.protect mutex (fun () ->

@@ -25,6 +25,12 @@ val observe : string -> float -> unit
     most ~7% relative error; non-positive samples share one underflow
     bucket valued 0. *)
 
+val observe_n : string -> float -> count:int -> unit
+(** [observe_n name v ~count] records [count] identical samples of [v]
+    under one registry lock — the bulk path for flushing pre-aggregated
+    histograms (e.g. Intmap probe lengths).  No-op when [count = 0];
+    raises [Invalid_argument] when negative. *)
+
 val counter_value : string -> int
 (** Current value; 0 if the counter was never bumped. *)
 
@@ -55,5 +61,19 @@ val snapshot : unit -> snapshot
 val to_json : unit -> Json.t
 (** [{ "counters": {..}, "gauges": {..}, "histograms": {name:
     {count,sum,min,max,p50,p90,p99}} }], sorted by name. *)
+
+val escape_label_value : string -> string
+(** OpenMetrics label-value escaping: backslash, double-quote and
+    newline become backslash-escaped two-character sequences. *)
+
+val escape_help : string -> string
+(** OpenMetrics HELP-text escaping: backslash and newline only. *)
+
+val to_openmetrics : unit -> string
+(** Render the registry snapshot in the Prometheus/OpenMetrics text
+    exposition format, terminated by [# EOF].  Registry names become
+    the [name] label of three fixed families: [ppcache_counter_total]
+    (counter), [ppcache_gauge] (gauge) and [ppcache_histogram]
+    (summary with quantile 0.5/0.9/0.99 series plus _sum/_count). *)
 
 val reset : unit -> unit

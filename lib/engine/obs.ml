@@ -1,7 +1,8 @@
 (* v2: added the "faults" list (typed fault log) to the metrics report
    v3: added the "resilience" section (retry / checkpoint / deadline
-   counters) *)
-let metrics_schema_version = 3
+   counters)
+   v4: added the "resource" section (GC counters, heap sizes, wall) *)
+let metrics_schema_version = 4
 
 (* v2: added the "resilience" section *)
 let faults_schema_version = 2
@@ -94,14 +95,27 @@ let metrics_report () =
       ("memo", memo_json ());
       ("faults", faults_json ());
       ("resilience", resilience_json ());
+      ("resource", Resource.summary_json ());
     ]
 
-let write_json ~path json =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Json.to_string_pretty json))
+(* All report writes are atomic: the full document goes to
+   [path ^ ".tmp"] in the same directory, then rename replaces the
+   target in one step.  A run killed or deadline-expired mid-write can
+   leave a stale .tmp behind but never a truncated report. *)
+let write_text ~path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc text;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
+let write_json ~path json = write_text ~path (Json.to_string_pretty json)
 let write_metrics ~path = write_json ~path (metrics_report ())
 let write_faults ~path = write_json ~path (faults_report ())
 let write_trace ~path = write_json ~path (Span.to_chrome_json ())
+let write_openmetrics ~path = write_text ~path (Metrics.to_openmetrics ())

@@ -10,7 +10,7 @@
 val metrics_schema_version : int
 (** Bumped whenever a field is added or reshaped (policy in README
     "Robustness & fault injection"); v2 added the ["faults"] list, v3
-    the ["resilience"] section. *)
+    the ["resilience"] section, v4 the ["resource"] section. *)
 
 val faults_schema_version : int
 (** v2 added the ["resilience"] section. *)
@@ -23,9 +23,10 @@ val metrics_report : unit -> Json.t
 (** [{ "schema_version"; "metrics": {counters,gauges,histograms};
     "stages": [{name,calls,tasks,busy_s,wall_s}];
     "memo": [{name,hits,misses,hit_rate}];
-    "faults": [{kind,stage,detail}] }] — stages and memo tables mirror
+    "faults": [{kind,stage,detail}]; "resilience": {..};
+    "resource": {..} }] — stages and memo tables mirror
     {!Trace.summary} in machine-readable form; faults are the {!Fault}
-    log in canonical order. *)
+    log in canonical order; resource is {!Resource.summary_json}. *)
 
 val faults_report : unit -> Json.t
 (** [{ "schema_version"; "faults": [{kind,stage,detail}] }] — the
@@ -50,8 +51,13 @@ val resilience_json : unit -> Json.t
     the resilience layer's counters, embedded in both the metrics and
     fault reports and in the bench report. *)
 
+val write_text : path:string -> string -> unit
+(** Atomic file write: the document goes to [path ^ ".tmp"], then a
+    rename replaces [path] in one step — a killed run can leave a
+    stale [.tmp] behind but never a truncated report. *)
+
 val write_json : path:string -> Json.t -> unit
-(** Pretty-printed, trailing newline. *)
+(** Pretty-printed, trailing newline; atomic via {!write_text}. *)
 
 val write_metrics : path:string -> unit
 (** {!metrics_report} to [path]. *)
@@ -62,3 +68,7 @@ val write_faults : path:string -> unit
 val write_trace : path:string -> unit
 (** {!Span.to_chrome_json} to [path] — open in Perfetto
     ([ui.perfetto.dev]) or [chrome://tracing]. *)
+
+val write_openmetrics : path:string -> unit
+(** {!Metrics.to_openmetrics} to [path] — the Prometheus text
+    exposition snapshot behind [--metrics-prom]. *)

@@ -1,0 +1,90 @@
+(* Resource accounting: GC and wall-clock samples at span boundaries
+   plus a process-level summary for the Obs reports.
+
+   Everything here reads [Gc.quick_stat] — the cheap counters-only
+   variant that never walks the heap — so sampling is safe at span
+   granularity.  On OCaml 5 the allocation counters (minor_words,
+   promoted_words, major_words) are maintained per domain, so a span's
+   delta reports the words allocated by the domain that ran it; the
+   heap-size fields describe the shared major heap.
+
+   The runtime does not expose time spent inside the collector, so the
+   summary reports collection *counts* (minor, major, forced,
+   compactions) and heap growth instead — enough to spot allocation
+   pressure and GC-bound phases from a metrics report alone. *)
+
+type sample = {
+  wall : float;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  forced_major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    wall = Unix.gettimeofday ();
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    forced_major_collections = s.Gc.forced_major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+    top_heap_words = s.Gc.top_heap_words;
+  }
+
+(* process baseline, captured when the engine library is initialised *)
+let start = sample ()
+
+type delta = {
+  wall_s : float;
+  d_minor_words : float;
+  d_major_words : float;
+  d_major_collections : int;
+}
+
+let delta ~before ~after =
+  {
+    wall_s = after.wall -. before.wall;
+    d_minor_words = after.minor_words -. before.minor_words;
+    d_major_words = after.major_words -. before.major_words;
+    d_major_collections = after.major_collections - before.major_collections;
+  }
+
+(* the attribute triple every traced span carries; values are deltas
+   over the span's own execution *)
+let span_attrs ~before ~after =
+  let d = delta ~before ~after in
+  [
+    ("minor_words", Json.Float d.d_minor_words);
+    ("major_words", Json.Float d.d_major_words);
+    ("major_collections", Json.Int d.d_major_collections);
+  ]
+
+let summary_json () =
+  let now = sample () in
+  Json.Obj
+    [
+      ("wall_s", Json.Float (now.wall -. start.wall));
+      ("minor_words", Json.Float now.minor_words);
+      ("promoted_words", Json.Float now.promoted_words);
+      ("major_words", Json.Float now.major_words);
+      (* total fresh allocation: minor + direct-to-major, without
+         double-counting promotions *)
+      ( "allocated_words",
+        Json.Float (now.minor_words +. now.major_words -. now.promoted_words) );
+      ("minor_collections", Json.Int now.minor_collections);
+      ("major_collections", Json.Int now.major_collections);
+      ("forced_major_collections", Json.Int now.forced_major_collections);
+      ("compactions", Json.Int now.compactions);
+      ("heap_words", Json.Int now.heap_words);
+      ("peak_heap_words", Json.Int now.top_heap_words);
+    ]

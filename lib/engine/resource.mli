@@ -1,0 +1,50 @@
+(** Resource accounting: GC counters and wall clock, sampled at span
+    boundaries and summarised per process.
+
+    Built on [Gc.quick_stat] — counters only, no heap walk — so a
+    sample costs nanoseconds and is safe at span granularity.  On
+    OCaml 5 the allocation counters are per-domain: a span's delta
+    reports the words allocated by the domain that ran it, while the
+    heap-size fields describe the shared major heap.
+
+    The OCaml runtime does not expose time spent inside the collector,
+    so the process summary reports collection counts (minor, major,
+    forced, compactions) and heap growth instead.  {!Span} attaches
+    {!span_attrs} to every traced span; {!Obs.metrics_report} embeds
+    {!summary_json} as the ["resource"] section (metrics schema v4). *)
+
+type sample = {
+  wall : float;                    (** Unix time of the sample *)
+  minor_words : float;             (** cumulative, domain-local *)
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  forced_major_collections : int;
+  compactions : int;
+  heap_words : int;                (** current major heap size *)
+  top_heap_words : int;            (** peak major heap size *)
+}
+
+val sample : unit -> sample
+
+val start : sample
+(** Process baseline, captured at library initialisation. *)
+
+type delta = {
+  wall_s : float;
+  d_minor_words : float;
+  d_major_words : float;
+  d_major_collections : int;
+}
+
+val delta : before:sample -> after:sample -> delta
+
+val span_attrs : before:sample -> after:sample -> (string * Json.t) list
+(** [minor_words] / [major_words] / [major_collections] deltas — the
+    attributes {!Span.with_span} appends to every traced span. *)
+
+val summary_json : unit -> Json.t
+(** Process-level summary since {!start}: wall time, cumulative
+    allocation (minor / promoted / major / total), collection counts,
+    current and peak heap words. *)

@@ -47,10 +47,12 @@ let with_span ?(attrs = []) name f =
     let parent = match !stack with [] -> None | id :: _ -> Some id in
     let id = Atomic.fetch_and_add next_id 1 in
     stack := id :: !stack;
-    let t0 = Unix.gettimeofday () in
+    let r0 = Resource.sample () in
+    let t0 = r0.Resource.wall in
     Fun.protect
       ~finally:(fun () ->
-        let t1 = Unix.gettimeofday () in
+        let r1 = Resource.sample () in
+        let t1 = r1.Resource.wall in
         (match !stack with
         | top :: rest when top = id -> stack := rest
         | _ -> () (* enabled flag flipped mid-span; stack already reset *));
@@ -63,7 +65,8 @@ let with_span ?(attrs = []) name f =
             tid = (Domain.self () :> int);
             ts_us = (t0 -. e) *. 1e6;
             dur_us = (t1 -. t0) *. 1e6;
-            attrs;
+            (* every traced span carries its GC-allocation delta *)
+            attrs = attrs @ Resource.span_attrs ~before:r0 ~after:r1;
           })
       f
   end

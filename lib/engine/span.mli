@@ -39,7 +39,9 @@ val enabled : unit -> bool
 
 val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** Run [f] inside a span (recorded even if [f] raises).  No-op wrapper
-    when disabled. *)
+    when disabled.  Every recorded span additionally carries the
+    {!Resource.span_attrs} GC-allocation deltas ([minor_words] /
+    [major_words] / [major_collections]) measured over [f]. *)
 
 val current_id : unit -> int option
 (** Innermost open span on the calling domain. *)

@@ -6,6 +6,9 @@ module Memo = Nmcache_engine.Memo
 module Retry = Nmcache_engine.Retry
 module Deadline = Nmcache_engine.Deadline
 module Faultpoint = Nmcache_engine.Faultpoint
+module Span = Nmcache_engine.Span
+module Metrics = Nmcache_engine.Metrics
+module Json = Nmcache_engine.Json
 
 type kind =
   | Raw
@@ -60,6 +63,18 @@ let build ~workload ~kind ~block ~seed ~n =
          fault point stays key-deterministic at any --jobs *)
       Retry.run ~stage:"simulate" ~key (fun ~attempt ~last:_ ->
           Faultpoint.hit ~attempt ~point:"simulate" ~key ();
+          Span.with_span
+            ~attrs:
+              [
+                ("workload", Json.String workload);
+                ( "kind",
+                  Json.String
+                    (match kind with Raw -> "raw" | L1_filtered _ -> "l1-filtered")
+                );
+                ("n", Json.Int n);
+              ]
+            "profile:build"
+            (fun () ->
           let gen = Registry.build ~seed workload in
           let profiler = Mattson.create ~block_bytes:block () in
           let l1_opt, feed_raw =
@@ -82,10 +97,22 @@ let build ~workload ~kind ~block ~seed ~n =
           (match l1_opt with Some l1 -> Cache.reset_stats l1 | None -> ());
           Mattson.set_measuring profiler true;
           Gen.iter gen (n - warm) feed;
-          Nmcache_engine.Metrics.incr "cachesim.mattson_curves";
+          Metrics.incr "cachesim.mattson_curves";
+          (* drain the per-map probe-length counts accumulated over the
+             traversal into one registry histogram: bucket index is the
+             probe length (slots past the first; last bucket = 16+) *)
+          let flush_probe_hist counts =
+            Array.iteri
+              (fun len count ->
+                Metrics.observe_n "cachesim.intmap.probe_len" (float_of_int len)
+                  ~count)
+              counts
+          in
+          flush_probe_hist (Mattson.drain_probe_hist profiler);
           let l1_miss_rate =
             match l1_opt with
             | Some l1 ->
+              flush_probe_hist (Cache.drain_probe_hist l1);
               Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
               Stats.miss_rate (Cache.stats l1)
             | None -> Float.nan
@@ -108,7 +135,7 @@ let build ~workload ~kind ~block ~seed ~n =
             counts;
             suffix;
             l1_miss_rate;
-          }))
+          })))
 
 let raw ?(block = 64) ?(seed = Registry.default_seed) ~workload ~n () =
   build ~workload ~kind:Raw ~block ~seed ~n
@@ -124,6 +151,10 @@ let misses_at t ~capacity_blocks =
   t.cold + Mattson.suffix_at ~dists:t.dists ~suffix:t.suffix capacity_blocks
 
 let miss_rate_at t ~capacity_blocks =
+  (* derivation-vs-simulation accounting: every miss rate read off the
+     profile counts here, every trace traversal under
+     cachesim.mattson_curves / cachesim.simulations *)
+  Metrics.incr "profile.derived_points";
   if t.accesses = 0 then 0.0
   else float_of_int (misses_at t ~capacity_blocks) /. float_of_int t.accesses
 
@@ -143,6 +174,7 @@ let setassoc_miss_rate t ~capacity_blocks ~assoc =
   if sets <= 1 then miss_rate_at t ~capacity_blocks
   else if t.accesses = 0 then 0.0
   else begin
+    Metrics.incr "profile.derived_points";
     let p = 1.0 /. float_of_int sets in
     let q = 1.0 -. p in
     let lq = log q in

@@ -1,5 +1,13 @@
 (* Entry point aggregating every suite. *)
 
+(* Child mode for the kill-during-write chaos test: re-executed with
+   this env var set, loop writing a report until SIGKILLed.  Must run
+   before Alcotest so no domain is ever spawned in the child. *)
+let () =
+  match Sys.getenv_opt Test_resilience.kill_writer_env with
+  | Some target -> Test_resilience.writer_child_main target; exit 0
+  | None -> ()
+
 let () =
   Alcotest.run "nmcache"
     [
@@ -20,6 +28,7 @@ let () =
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
       ("extras", Test_extras.suite);

@@ -191,6 +191,155 @@ let test_histogram_degenerate () =
         Alcotest.(check (float 1e-6)) "p50 of underflow bucket" 0.0 s.Metrics.p50
       | None -> Alcotest.fail "missing")
 
+let test_histogram_edge_cases () =
+  with_clean_slate (fun () ->
+      (* never-observed name: no summary at all *)
+      Alcotest.(check bool) "unknown histogram is None" true
+        (Metrics.histogram_summary "never" = None);
+      (* single sample: every quantile clamps to the one value *)
+      Metrics.observe "single" 42.0;
+      (match Metrics.histogram_summary "single" with
+      | Some s ->
+        Alcotest.(check int) "count 1" 1 s.Metrics.count;
+        Alcotest.(check (float 1e-6)) "p50" 42.0 s.Metrics.p50;
+        Alcotest.(check (float 1e-6)) "p90" 42.0 s.Metrics.p90;
+        Alcotest.(check (float 1e-6)) "p99" 42.0 s.Metrics.p99
+      | None -> Alcotest.fail "missing");
+      (* p99 with fewer than 100 samples: the rank rounds to the last
+         sample, so the estimate must clamp into [min, max] — never
+         overshoot the largest observation *)
+      for i = 1 to 10 do
+        Metrics.observe "ten" (float_of_int i)
+      done;
+      (match Metrics.histogram_summary "ten" with
+      | Some s ->
+        Alcotest.(check bool) "p99 <= max" true (s.Metrics.p99 <= 10.0);
+        Alcotest.(check bool) "p99 >= p50" true (s.Metrics.p99 >= s.Metrics.p50);
+        Alcotest.(check bool) "p50 plausible" true
+          (s.Metrics.p50 >= 1.0 && s.Metrics.p50 <= 10.0)
+      | None -> Alcotest.fail "missing");
+      (* observe_n must be indistinguishable from n repeated observes *)
+      Metrics.observe_n "bulk" 3.0 ~count:5;
+      Metrics.observe_n "bulk" 0.0 ~count:2;
+      Metrics.observe_n "bulk" 9.0 ~count:0;
+      for _ = 1 to 5 do
+        Metrics.observe "loop" 3.0
+      done;
+      Metrics.observe "loop" 0.0;
+      Metrics.observe "loop" 0.0;
+      match (Metrics.histogram_summary "bulk", Metrics.histogram_summary "loop") with
+      | Some b, Some l ->
+        Alcotest.(check int) "bulk count" 7 b.Metrics.count;
+        Alcotest.(check (float 1e-9)) "bulk sum" l.Metrics.sum b.Metrics.sum;
+        Alcotest.(check (float 1e-9)) "bulk p50" l.Metrics.p50 b.Metrics.p50;
+        Alcotest.(check (float 1e-9)) "bulk p99" l.Metrics.p99 b.Metrics.p99
+      | _ -> Alcotest.fail "missing")
+
+let test_histogram_cross_domain_merge () =
+  with_clean_slate (fun () ->
+      (* 4 domains each observing a distinct value band into ONE
+         histogram: the merged summary must count every sample and its
+         quantiles must straddle the bands *)
+      ignore
+        (Pool.map_array (Pool.create ~jobs:4)
+           (fun band ->
+             for i = 1 to 250 do
+               Metrics.observe "merged"
+                 ((float_of_int band *. 1000.0) +. float_of_int i)
+             done)
+           (Array.init 4 Fun.id));
+      match Metrics.histogram_summary "merged" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some s ->
+        Alcotest.(check int) "merged count exact" 1000 s.Metrics.count;
+        Alcotest.(check (float 1e-6)) "min from band 0" 1.0 s.Metrics.min;
+        Alcotest.(check (float 1e-6)) "max from band 3" 3250.0 s.Metrics.max;
+        Alcotest.(check bool) "p50 in the middle bands" true
+          (s.Metrics.p50 > 250.0 && s.Metrics.p50 < 3000.0);
+        Alcotest.(check bool) "p99 near the top band" true (s.Metrics.p99 > 2000.0))
+
+(* --- openmetrics ----------------------------------------------------------- *)
+
+(* reverse of Metrics.escape_label_value, for round-trip checks *)
+let unescape_label s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | 'n' -> Buffer.add_char b '\n'
+       | c ->
+         Buffer.add_char b '\\';
+         Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let test_openmetrics_escaping_roundtrip () =
+  let nasty =
+    [ "plain"; {|back\slash|}; {|quo"te|}; "new\nline"; "all\\three\"and\nmore" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "label %S round-trips" s)
+        s
+        (unescape_label (Metrics.escape_label_value s)))
+    nasty;
+  (* help escaping touches backslash and newline but leaves quotes alone *)
+  Alcotest.(check string) "help escapes newline" {|a\nb|} (Metrics.escape_help "a\nb");
+  Alcotest.(check string) "help escapes backslash" {|a\\b|} (Metrics.escape_help {|a\b|});
+  Alcotest.(check string) "help keeps quotes" {|a"b|} (Metrics.escape_help {|a"b|})
+
+let test_openmetrics_exposition () =
+  with_clean_slate (fun () ->
+      Metrics.incr ~by:7 "cachesim.accesses";
+      Metrics.set_gauge "pool.size" 4.0;
+      Metrics.observe "lm.iters" 10.0;
+      Metrics.observe "lm.iters" 20.0;
+      (* a registry name that needs escaping when it becomes a label *)
+      Metrics.incr {|weird\name"with|};
+      let text = Metrics.to_openmetrics () in
+      let has needle =
+        let ln = String.length needle and lt = String.length text in
+        let rec go i = i + ln <= lt && (String.sub text i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "terminated by EOF" true
+        (String.length text >= 6 && String.sub text (String.length text - 6) 6 = "# EOF\n");
+      Alcotest.(check bool) "counter sample" true
+        (has "ppcache_counter_total{name=\"cachesim.accesses\"} 7\n");
+      Alcotest.(check bool) "gauge sample" true
+        (has "ppcache_gauge{name=\"pool.size\"} 4\n");
+      Alcotest.(check bool) "histogram quantile series" true
+        (has "ppcache_histogram{name=\"lm.iters\",quantile=\"0.5\"}");
+      Alcotest.(check bool) "histogram count" true
+        (has "ppcache_histogram_count{name=\"lm.iters\"} 2\n");
+      Alcotest.(check bool) "histogram sum" true
+        (has "ppcache_histogram_sum{name=\"lm.iters\"} 30\n");
+      Alcotest.(check bool) "escaped label rendered" true
+        (has ("{name=\"" ^ Metrics.escape_label_value {|weird\name"with|} ^ "\"}"));
+      Alcotest.(check bool) "HELP precedes TYPE" true
+        (has "# HELP ppcache_counter " && has "# TYPE ppcache_counter counter\n");
+      (* every non-comment line is  <sample> <value>  with no raw
+         newline inside a label: line count matches sample count *)
+      let lines = String.split_on_char '\n' text in
+      let samples =
+        List.filter
+          (fun l -> l <> "" && l.[0] <> '#')
+          lines
+      in
+      (* 2 counters + 1 gauge + (3 quantiles + sum + count) = 8 *)
+      Alcotest.(check int) "sample-line count" 8 (List.length samples))
+
 let test_counters_parallel () =
   with_clean_slate (fun () ->
       (* 64 kernels on 4 domains all bumping the same counter: the total
@@ -382,6 +531,13 @@ let suite =
     Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
     Alcotest.test_case "histogram quantiles (uniform 1..1000)" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram degenerate shapes" `Quick test_histogram_degenerate;
+    Alcotest.test_case "histogram edge cases (empty, single, p99<100, observe_n)" `Quick
+      test_histogram_edge_cases;
+    Alcotest.test_case "histogram merges across domains" `Quick
+      test_histogram_cross_domain_merge;
+    Alcotest.test_case "openmetrics escaping round-trips" `Quick
+      test_openmetrics_escaping_roundtrip;
+    Alcotest.test_case "openmetrics exposition format" `Quick test_openmetrics_exposition;
     Alcotest.test_case "counters exact across domains" `Quick test_counters_parallel;
     Alcotest.test_case "metrics report parses back" `Quick test_metrics_json_parses;
     Alcotest.test_case "disabled spans record nothing" `Quick test_span_disabled_is_free;

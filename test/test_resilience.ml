@@ -392,6 +392,62 @@ let test_pool_watchdog_drains () =
               (fun f -> f.Fault.kind = Fault.Timed_out)
               (Fault.recorded ()))))
 
+(* Kill-during-write chaos gate for the atomic report path.  Unix.fork
+   is unavailable once domains exist (earlier tests spawn pools), so
+   the writer child is this same test binary re-executed with
+   [kill_writer_env] set — test_main diverts into [writer_child_main]
+   before Alcotest (and any domain) starts. *)
+let kill_writer_env = "PPCACHE_TEST_KILL_WRITER"
+
+(* a few hundred KB, so a mid-write kill is very likely to land inside
+   the output loop *)
+let big_report () =
+  let module Json = Nmcache_engine.Json in
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.init 20_000 (fun i ->
+               Json.Obj [ ("i", Json.Int i); ("v", Json.Float (float_of_int i)) ])) );
+    ]
+
+let writer_child_main target : unit =
+  let report = big_report () in
+  while true do
+    Nmcache_engine.Obs.write_json ~path:target report
+  done
+
+let test_kill_during_report_write () =
+  (* a child process rewriting a big JSON report in a tight loop is
+     SIGKILLed mid-flight; because writes go to FILE.tmp then rename,
+     the target must always parse as complete JSON — never a
+     truncated tail *)
+  let module Json = Nmcache_engine.Json in
+  let module Obs = Nmcache_engine.Obs in
+  let dir = tmpdir () in
+  Unix.mkdir dir 0o755;
+  let target = Filename.concat dir "report.json" in
+  (* one clean write so the target exists: the kill must never be able
+     to destroy the last good report either *)
+  Obs.write_json ~path:target (big_report ());
+  let env =
+    Array.append (Unix.environment ()) [| kill_writer_env ^ "=" ^ target |]
+  in
+  let child =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.15;
+  Unix.kill child Sys.sigkill;
+  ignore (Unix.waitpid [] child);
+  Alcotest.(check bool) "target survives the kill" true (Sys.file_exists target);
+  match Json.parse (read_file target) with
+  | Ok j ->
+    let rows = Option.get (Option.bind (Json.member "rows" j) Json.to_list) in
+    Alcotest.(check int) "report complete, not truncated" 20_000 (List.length rows)
+  | Error e -> Alcotest.failf "killed writer left corrupt report: %s" e
+
 let suite =
   [
     Alcotest.test_case "checkpoint: crc32 test vector" `Quick test_crc32_vector;
@@ -426,4 +482,6 @@ let suite =
       test_with_root_arms_default;
     Alcotest.test_case "deadline: pool drains under a never-returning kernel" `Quick
       test_pool_watchdog_drains;
+    Alcotest.test_case "obs: kill during report write leaves a parseable file" `Quick
+      test_kill_during_report_write;
   ]
