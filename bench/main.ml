@@ -43,7 +43,7 @@ let bench_schema_version = 3
    [scenario] names a dedicated scenario run ("sweep") so trajectory
    readers never compare a scenario wall time against a full
    reproduction; absent for the classic full run. *)
-let write_bench_json ?scenario ?digest ~label ~jobs ~quick ~wall_s () =
+let write_bench_json ?scenario ?digest ?(extra = []) ~label ~jobs ~quick ~wall_s () =
   let experiments =
     List.filter_map
       (fun (s : Span.span) ->
@@ -68,6 +68,7 @@ let write_bench_json ?scenario ?digest ~label ~jobs ~quick ~wall_s () =
       @ (match digest with
         | None -> []
         | Some d -> [ ("digest", Json.Float d) ])
+      @ extra
       @ [
           ("wall_s", Json.Float wall_s);
           ("experiments", Json.List experiments);
@@ -151,6 +152,135 @@ let sweep_scenario ctx ~mode =
     (Metrics.counter_value "cachesim.simulations")
     (Metrics.counter_value "cachesim.mattson_curves");
   !digest
+
+(* ------------------------------------------------------------------ *)
+(* Serve scenario: cold-start vs warm-store replay                      *)
+
+(* The serve trajectory point: the same mixed query batch is answered
+   twice through the full Service handler — once against an empty
+   store (every model fitted, every curve profiled) and once against
+   the store the first pass persisted, with the in-process memo tables
+   cleared in between so the second pass measures a genuine restart.
+   The handler's own serve.cold_us / serve.warm_us histograms supply
+   p50/p99; the digest (sum of response-line lengths) pins the two
+   passes to byte-identical answers. *)
+
+let serve_queries ctx =
+  let n = ctx.Core.Context.n_sim in
+  List.concat
+    [
+      (* one size per query: every cold optimize characterises and fits
+         its own cache, so the cold histogram measures real work at
+         every percentile *)
+      List.mapi
+        (fun i size_kb ->
+          let scheme = if i mod 2 = 0 then "III" else "II" in
+          Printf.sprintf
+            {|{"id":"opt-%s-%dk","op":"optimize","scheme":"%s","size_kb":%d,"delay_budget_ps":2500}|}
+            scheme size_kb scheme size_kb)
+        [ 4; 8; 16; 32; 64; 128; 256; 512 ];
+      List.map
+        (fun w ->
+          Printf.sprintf
+            {|{"id":"mc-%s","op":"miss_curve","workload":"%s","l1_kb":16,"l2_kb":[256,512,1024],"n":%d}|}
+            w w n)
+        [ "spec2000-mix"; "tpcc" ];
+      List.map
+        (fun i ->
+          Printf.sprintf
+            {|{"id":"amat-%d","op":"amat","t_l1_ps":500,"t_l2_ps":2000,"t_mem_ps":60000,"m1":0.0%d,"m2":0.3}|}
+            i i)
+        [ 1; 2; 3; 4; 5 ];
+    ]
+
+let serve_pass ctx ~dir queries =
+  let module Store = Nmcache_engine.Store in
+  let store = Store.open_ ~dir in
+  let service =
+    Core.Service.create ~store ~ctx ~queue:64
+      ~jobs:(Nmcache_engine.Executor.get_jobs ())
+      ()
+  in
+  let digest = ref 0.0 in
+  List.iter
+    (fun line ->
+      let resp, settle = Core.Service.handle_line service line in
+      settle ();
+      digest := !digest +. float_of_int (String.length resp))
+    queries;
+  Store.close store;
+  !digest
+
+let serve_scenario ctx =
+  let dir =
+    let base = Filename.temp_file "ppcache-bench-serve" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let queries = serve_queries ctx in
+  Printf.printf
+    "==================================================================\n\
+    \ Serve scenario: %d queries, cold store then warm replay\n\
+     ==================================================================\n"
+    (List.length queries);
+  let cold_digest = serve_pass ctx ~dir queries in
+  (* a genuine restart: drop every in-process memo so the warm pass
+     can only be fast through the persistent store *)
+  Core.Context.clear_memo ();
+  Nmcache_workload.Missrate.clear_cache ();
+  let warm_digest = serve_pass ctx ~dir queries in
+  if cold_digest <> warm_digest then begin
+    Printf.eprintf
+      "bench: serve scenario: warm replay diverged from cold pass (digest \
+       %.1f vs %.1f)\n"
+      cold_digest warm_digest;
+    exit 1
+  end;
+  let summary name =
+    match Metrics.histogram_summary name with
+    | Some h -> h
+    | None ->
+      Printf.eprintf "bench: serve scenario: missing histogram %s\n" name;
+      exit 1
+  in
+  let cold = summary "serve.cold_us" in
+  let warm = summary "serve.warm_us" in
+  let speedup = cold.Metrics.p50 /. Float.max warm.Metrics.p50 1e-9 in
+  Printf.printf "[serve cold: %d answers, p50 %.0f us, p99 %.0f us]\n"
+    cold.Metrics.count cold.Metrics.p50 cold.Metrics.p99;
+  Printf.printf "[serve warm: %d answers, p50 %.0f us, p99 %.0f us]\n"
+    warm.Metrics.count warm.Metrics.p50 warm.Metrics.p99;
+  Printf.printf "[serve warm/cold p50 speedup: %.0fx]\n" speedup;
+  (* best-effort temp cleanup; the store is tiny either way *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let hist_json (h : Metrics.histogram_summary) =
+    Json.Obj
+      [
+        ("count", Json.Int h.Metrics.count);
+        ("p50_us", Json.Float h.Metrics.p50);
+        ("p90_us", Json.Float h.Metrics.p90);
+        ("p99_us", Json.Float h.Metrics.p99);
+      ]
+  in
+  let extra =
+    [
+      ( "serve",
+        Json.Obj
+          [
+            ("queries", Json.Int (List.length queries));
+            ("cold", hist_json cold);
+            ("warm", hist_json warm);
+            ("warm_speedup_p50", Json.Float speedup);
+          ] );
+    ]
+  in
+  (cold_digest, extra)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
@@ -358,8 +488,18 @@ let () =
     write_bench_json ~scenario:"sweep" ~digest ~label ~jobs ~quick ~wall_s:wall ();
     write_metrics_prom ();
     exit 0
+  | "serve" ->
+    let t0 = Unix.gettimeofday () in
+    Span.set_enabled true;
+    let digest, extra = serve_scenario ctx in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "serve scenario wall time: %.2f s\n" wall;
+    write_bench_json ~scenario:"serve" ~digest ~extra ~label ~jobs ~quick
+      ~wall_s:wall ();
+    write_metrics_prom ();
+    exit 0
   | other ->
-    Printf.eprintf "bench: unknown --scenario %S (expected sweep)\n" other;
+    Printf.eprintf "bench: unknown --scenario %S (expected sweep or serve)\n" other;
     exit 2);
   let t0 = Unix.gettimeofday () in
   Span.set_enabled true;

@@ -144,7 +144,15 @@ let with_checkpoint ~checkpoint ~resume f =
     exit 2
   | None, false -> f ()
   | Some dir, resume ->
-    let j = C.open_ ~dir ~resume in
+    let j =
+      try C.open_ ~dir ~resume
+      with Nmcache_engine.Lockfile.Locked { path; pid } ->
+        Printf.eprintf
+          "ppcache: checkpoint %s is locked by running pid %d (%s); two \
+           writers on one journal would interleave records\n"
+          dir pid path;
+        exit 2
+    in
     C.set_active (Some j);
     Fun.protect
       ~finally:(fun () ->
@@ -637,6 +645,112 @@ let workloads_cmd =
   let doc = "List the synthetic workload generators." in
   Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads $ const ())
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve store_dir socket queue quick jobs retries deadline trace trace_json
+    metrics_json faults_json metrics_prom events progress =
+  set_jobs jobs;
+  set_resilience ~retries ~deadline;
+  if queue < 1 then begin
+    Printf.eprintf "ppcache: --queue must be >= 1\n";
+    exit 2
+  end;
+  usage_guard @@ fun () ->
+  with_observability ~faults_json ~metrics_prom ~events ~progress ~trace
+    ~trace_json ~metrics_json
+  @@ fun () ->
+  let module S = Nmcache_engine.Store in
+  let module Server = Nmcache_engine.Server in
+  let ctx = context quick in
+  let store =
+    match store_dir with
+    | None -> None
+    | Some dir -> (
+      try Some (S.open_ ~dir)
+      with Nmcache_engine.Lockfile.Locked { path; pid } ->
+        Printf.eprintf
+          "ppcache: store %s is locked by running pid %d (%s); two writers \
+           on one store would interleave records\n"
+          dir pid path;
+        exit 2)
+  in
+  S.set_active store;
+  Fun.protect
+    ~finally:(fun () ->
+      S.set_active None;
+      Option.iter
+        (fun s ->
+          S.flush s;
+          Printf.eprintf
+            "ppcache: store %s: %d replayed, %d served, %d appended%s\n%!"
+            (S.path s) (S.replayed s) (S.served s) (S.appended s)
+            (if S.dropped_tail s then " (corrupt tail dropped)" else "");
+          S.close s)
+        store)
+    (fun () ->
+      let pool = Nmcache_engine.Executor.pool () in
+      let service =
+        Core.Service.create ?store ~ctx ~queue
+          ~jobs:(Nmcache_engine.Executor.get_jobs ())
+          ()
+      in
+      Server.reset_drain ();
+      Server.install_drain_signals ();
+      let handler = Core.Service.handler service in
+      let stats =
+        match socket with
+        | Some path ->
+          Server.serve_unix_socket ~queue ~pool ~handler
+            ~crash_response:Core.Service.crash_response
+            ~overlong_response:Core.Service.overlong_response ~path ()
+        | None ->
+          Server.serve ~queue ~pool ~handler
+            ~crash_response:Core.Service.crash_response
+            ~overlong_response:Core.Service.overlong_response ~input:Unix.stdin
+            ~output:stdout ()
+      in
+      Printf.eprintf "ppcache: serve: %d requests, %d responses%s\n%!"
+        stats.Server.requests stats.Server.responses
+        (if stats.Server.drained then " (drained)" else ""))
+
+let serve_cmd =
+  let store =
+    let doc =
+      "Persist fitted models, miss-rate curves and optimisation results to \
+       $(docv)/store.ppck (append-only, CRC-guarded) and answer repeat \
+       queries from it — across restarts.  A corrupt tail (killed writer) is \
+       truncated on open; a second server on the same directory fails fast."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let socket =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) (connections served one at \
+       a time) instead of reading stdin."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let queue =
+    let doc =
+      "Bounded in-flight window: at most $(docv) request lines are read \
+       ahead and evaluated per batch.  Independent of --jobs, so responses \
+       are byte-identical at any pool width."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Serve NDJSON design-space queries (optimize, miss_curve, amat, health) \
+     from stdin or a Unix socket: one response line per request, structured \
+     error objects for poisoned requests, admission control, per-key circuit \
+     breakers and graceful SIGTERM drain.  See EXPERIMENTS.md for the \
+     protocol."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ store $ socket $ queue $ quick_arg $ jobs_arg $ retries_arg
+      $ deadline_arg $ trace_arg $ trace_json_arg $ metrics_json_arg
+      $ faults_json_arg $ metrics_prom_arg $ events_arg $ progress_arg)
+
 let main =
   let doc = "power-performance trade-offs in nanometer-scale multi-level caches (DATE'05 reproduction)" in
   Cmd.group (Cmd.info "ppcache" ~version:"1.0.0" ~doc)
@@ -648,6 +762,7 @@ let main =
       verify_cmd;
       bench_cmd;
       workloads_cmd;
+      serve_cmd;
     ]
 
 let () =

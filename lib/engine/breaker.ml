@@ -1,0 +1,87 @@
+(* Deterministic per-key circuit breakers (see the .mli).
+
+   State machine per key:
+
+     Closed(f)   --fail--> Closed(f+1)         (f+1 < threshold)
+     Closed(f)   --fail--> Open(cooldown)      (f+1 = threshold)
+     Closed(_)   --ok---->  Closed(0)
+     Open(r)     --any--->  Open(r-1)          (r > 1; the tick is the
+                                                deflected request itself)
+     Open(1)     --any--->  Half_open
+     Half_open   --ok---->  Closed(0)
+     Half_open   --fail-->  Open(cooldown)
+
+   No clocks anywhere: cooldown is measured in requests on the key, so
+   a replayed request stream reproduces the same breaker evolution
+   byte-for-byte. *)
+
+type state = Closed | Open of int | Half_open
+
+type cell = { mutable failures : int; mutable st : state }
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  cells : (string, cell) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ?(threshold = 3) ?(cooldown = 8) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if cooldown < 1 then invalid_arg "Breaker.create: cooldown < 1";
+  { threshold; cooldown; cells = Hashtbl.create 32; lock = Mutex.create () }
+
+let cell t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c = { failures = 0; st = Closed } in
+    Hashtbl.replace t.cells key c;
+    c
+
+let state t ~key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.cells key with None -> Closed | Some c -> c.st)
+
+let admit t ~key =
+  match state t ~key with Closed | Half_open -> true | Open _ -> false
+
+let record t ~key ~ok =
+  Mutex.protect t.lock (fun () ->
+      let c = cell t key in
+      match c.st with
+      | Closed ->
+        if ok then c.failures <- 0
+        else begin
+          c.failures <- c.failures + 1;
+          if c.failures >= t.threshold then begin
+            c.st <- Open t.cooldown;
+            Metrics.incr "breaker.tripped"
+          end
+        end
+      | Open r ->
+        (* the deflected request is the cooldown clock; its ok flag is
+           meaningless (nothing was computed) *)
+        c.st <- (if r <= 1 then Half_open else Open (r - 1))
+      | Half_open ->
+        if ok then begin
+          c.failures <- 0;
+          c.st <- Closed;
+          Metrics.incr "breaker.closed"
+        end
+        else begin
+          c.st <- Open t.cooldown;
+          Metrics.incr "breaker.tripped"
+        end)
+
+let tripped_keys t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun key c acc ->
+          match c.st with
+          | Closed when c.failures = 0 -> acc
+          | st -> (key, st) :: acc)
+        t.cells [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t = Mutex.protect t.lock (fun () -> Hashtbl.reset t.cells)

@@ -1,0 +1,54 @@
+(** Deterministic per-key circuit breakers for the serve loop.
+
+    A (workload, config) key whose fits keep exhausting their retries
+    should stop being hammered: after [threshold] consecutive compute
+    failures the key's breaker {e trips} and the next [cooldown]
+    requests on that key are answered without touching the numeric
+    stack (degraded answers from the nearest cached model, or a
+    [circuit_open] error).  After the cooldown the breaker goes
+    half-open: one probe request computes for real — success closes
+    the breaker, failure re-trips it for another cooldown.
+
+    Determinism is the design constraint, exactly as for {!Faultpoint}:
+    state advances on {e request counts}, never wall-clock time, and
+    the serve loop applies updates at batch boundaries in request
+    order, so breaker evolution — and therefore every degraded
+    response — is byte-identical at any [--jobs].
+
+    All operations are domain-safe (one mutex; call sites are
+    per-request, never per-iteration). *)
+
+type t
+
+type state =
+  | Closed      (** normal operation; failures are being counted *)
+  | Open of int (** tripped; the payload is the cooldown remaining *)
+  | Half_open   (** cooldown spent; the next request is the probe *)
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+(** [threshold] consecutive failures trip a key (default 3);
+    [cooldown] requests are then deflected (default 8).  Raises
+    [Invalid_argument] when either is < 1. *)
+
+val state : t -> key:string -> state
+(** The key's current state.  Pure read — admission decisions during a
+    batch all see the same snapshot. *)
+
+val admit : t -> key:string -> bool
+(** [true] when a request on [key] should compute ([Closed] or
+    [Half_open]), [false] when it should be deflected ([Open]). *)
+
+val record : t -> key:string -> ok:bool -> unit
+(** Advance the key's state machine with a request outcome, in request
+    order: a failure in [Closed] counts toward the threshold (tripping
+    trips the breaker and bumps [breaker.tripped]); any outcome in
+    [Open] burns one cooldown tick; the [Half_open] probe's outcome
+    closes ([ok], counted under [breaker.closed]) or re-trips the
+    breaker.  Deflected requests record [ok:false] — they are the
+    cooldown clock. *)
+
+val tripped_keys : t -> (string * state) list
+(** Every key not currently [Closed]-with-zero-failures, sorted by key
+    — the health report's breaker table. *)
+
+val reset : t -> unit

@@ -24,6 +24,7 @@
 type t = {
   dir : string;
   path : string;
+  file_lock : Lockfile.t; (* single-writer guard, released at close *)
   mutable oc : out_channel option;
   lock : Mutex.t;
   table : (string, string) Hashtbl.t; (* key -> marshalled value *)
@@ -121,6 +122,12 @@ let truncate_file path len =
 let open_ ~dir ~resume =
   mkdir_p dir;
   let path = Filename.concat dir journal_name in
+  (* single-writer discipline: two processes (or two handles) armed on
+     the same journal would interleave records; fail fast instead.  The
+     lock is held until [close] and survives crashes via stale-PID
+     detection in {!Lockfile}. *)
+  let file_lock = Lockfile.acquire ~path:(path ^ ".lock") in
+  let body () =
   let table = Hashtbl.create 64 in
   let dropped = ref false in
   let fresh = ref true in
@@ -163,6 +170,7 @@ let open_ ~dir ~resume =
   {
     dir;
     path;
+    file_lock;
     oc = Some oc;
     lock = Mutex.create ();
     table;
@@ -171,6 +179,12 @@ let open_ ~dir ~resume =
     appended = 0;
     dropped = !dropped;
   }
+  in
+  (match body () with
+  | t -> t
+  | exception e ->
+    Lockfile.release file_lock;
+    raise e)
 
 let close t =
   Mutex.protect t.lock (fun () ->
@@ -179,7 +193,8 @@ let close t =
       | Some oc ->
         t.oc <- None;
         flush oc;
-        close_out oc)
+        close_out oc);
+  Lockfile.release t.file_lock
 
 let dir t = t.dir
 let path t = t.path

@@ -29,12 +29,18 @@ val open_ : dir:string -> resume:bool -> t
     With [resume = true] an existing journal is replayed (tolerantly —
     see above) and extended; with [resume = false], or when the file is
     missing or has a foreign header, a fresh journal is started.
-    Counters: [checkpoint.replayed] (records served back from disk),
-    [checkpoint.dropped] (a corrupt tail was truncated). *)
+    Single-writer: an advisory {!Lockfile} on [journal.ppck.lock] is
+    held until {!close}, so a second process (or handle) armed on the
+    same directory raises {!Lockfile.Locked} instead of silently
+    interleaving records; a crashed owner's stale lock is broken
+    automatically.  Counters: [checkpoint.replayed] (records served
+    back from disk), [checkpoint.dropped] (a corrupt tail was
+    truncated). *)
 
 val close : t -> unit
-(** Flush and close the journal file; later {!store}s still populate
-    the in-memory table but no longer persist. *)
+(** Flush and close the journal file and release the writer lock;
+    later {!store}s still populate the in-memory table but no longer
+    persist. *)
 
 val lookup : t -> key:string -> 'a option
 (** The journaled value for [key], if present — counted under

@@ -1,0 +1,76 @@
+(* Advisory single-writer lock files (see the .mli for the contract).
+
+   The lock is the classic O_EXCL file containing the owner's PID.
+   Creation is atomic; stale detection is [kill pid 0].  We never
+   [flock]: the journals these locks guard live on ordinary local
+   filesystems, and the PID protocol additionally survives readers
+   that just want to *inspect* who holds the lock. *)
+
+exception Locked of { path : string; pid : int }
+
+type t = { lock_path : string; mutable held : bool }
+
+let path t = t.lock_path
+
+let holder_pid ~path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> None
+        | line -> int_of_string_opt (String.trim line))
+
+(* [kill pid 0] probes liveness without signalling: ESRCH means the
+   process is gone; EPERM means it exists but belongs to someone else
+   (still live); success means live. *)
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (_, _, _) -> true
+
+let try_create lock_path =
+  match Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let line = string_of_int (Unix.getpid ()) ^ "\n" in
+        ignore (Unix.write_substring fd line 0 (String.length line)));
+    true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+let acquire ~path:lock_path =
+  (* bounded retry: each loop either creates the file, raises Locked on
+     a live owner, or breaks one stale lock.  Two iterations suffice in
+     the absence of a race; a few spares absorb concurrent breakers. *)
+  let rec go attempts =
+    if attempts = 0 then
+      (* pathological churn: someone keeps recreating the lock between
+         our break and our create — report the current holder *)
+      raise
+        (Locked
+           { path = lock_path; pid = Option.value ~default:0 (holder_pid ~path:lock_path) })
+    else if try_create lock_path then { lock_path; held = true }
+    else begin
+      (match holder_pid ~path:lock_path with
+      | Some pid when pid_alive pid -> raise (Locked { path = lock_path; pid })
+      | Some _ | None ->
+        (* dead owner or unreadable junk: break the lock and retry *)
+        Metrics.incr "lock.stale_broken";
+        (try Sys.remove lock_path with Sys_error _ -> ()));
+      go (attempts - 1)
+    end
+  in
+  go 4
+
+let release t =
+  if t.held then begin
+    t.held <- false;
+    try Sys.remove t.lock_path with Sys_error _ -> ()
+  end

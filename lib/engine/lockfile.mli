@@ -1,0 +1,39 @@
+(** Advisory single-writer lock files for on-disk journals.
+
+    The checkpoint journal and the persistent model store are
+    append-only files with per-record CRCs: corruption-tolerant against
+    crashes, but defenceless against two live processes interleaving
+    appends into the same file.  A lock file makes that failure mode
+    loud: {!acquire} creates [<target>.lock] with [O_CREAT | O_EXCL]
+    and writes the owner's PID into it, so a second process armed on
+    the same journal fails fast (the CLI maps {!Locked} to exit 2)
+    instead of silently corrupting records.
+
+    Stale locks are self-healing: a SIGKILLed owner leaves its lock
+    file behind, but its PID is dead, so the next {!acquire} detects
+    the stale owner ([kill pid 0] raising [ESRCH]), removes the file
+    and retries.  A PID that is merely unverifiable (permission errors)
+    is treated as live — false "locked" beats false "stale". *)
+
+exception Locked of { path : string; pid : int }
+(** The lock at [path] is held by a live process [pid]. *)
+
+type t
+
+val acquire : path:string -> t
+(** Take the lock file at [path] (conventionally [<journal>.lock]),
+    writing this process's PID into it.  Raises {!Locked} when a live
+    process holds it — including this process itself: one journal
+    handle per directory, even in-process.  A lock file naming a dead
+    PID is removed and re-acquired (counted under [lock.stale_broken]).
+    Raises [Unix.Unix_error] on filesystem failures. *)
+
+val release : t -> unit
+(** Remove the lock file.  Idempotent; never raises (a lock directory
+    deleted behind our back is already unlocked). *)
+
+val path : t -> string
+
+val holder_pid : path:string -> int option
+(** The PID recorded in the lock file at [path], if it exists and
+    parses — exposed for tests and diagnostics. *)

@@ -1,0 +1,261 @@
+(* Generic NDJSON serve loop (see the .mli for the contract). *)
+
+type stats = { requests : int; responses : int; drained : bool }
+
+type handler = line:string -> string * (unit -> unit)
+
+let max_line_bytes = 1_048_576
+
+(* --- drain flag ------------------------------------------------------ *)
+
+let drain_flag = Atomic.make false
+let request_drain () = Atomic.set drain_flag true
+let drain_requested () = Atomic.get drain_flag
+let reset_drain () = Atomic.set drain_flag false
+
+let install_drain_signals () =
+  let handle = Sys.Signal_handle (fun _ -> request_drain ()) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle
+
+let inflight_count = Atomic.make 0
+let inflight () = Atomic.get inflight_count
+
+(* --- buffered line reader ------------------------------------------- *)
+
+(* A hand-rolled reader over Unix.read rather than an in_channel: we
+   need EINTR to surface (a SIGTERM must be able to interrupt a
+   blocking read so drain never hangs on a silent pipe) and we need to
+   discard overlong lines in bounded memory. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable pos : int;  (* unread window is chunk[pos, len) *)
+  mutable len : int;
+  pending : Buffer.t; (* partial line carried across refills *)
+  mutable eof : bool;
+}
+
+let make_reader fd =
+  {
+    fd;
+    chunk = Bytes.create 65536;
+    pos = 0;
+    len = 0;
+    pending = Buffer.create 256;
+    eof = false;
+  }
+
+type read_result = Line of string | Overlong | Eof | Drained
+
+(* index of '\n' in chunk[pos, len), or None *)
+let find_newline r =
+  let rec go i = if i >= r.len then None else if Bytes.get r.chunk i = '\n' then Some i else go (i + 1) in
+  go r.pos
+
+let refill r =
+  (* returns false on EOF or drain; true when bytes arrived *)
+  let rec go () =
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 ->
+      r.eof <- true;
+      false
+    | n ->
+      r.pos <- 0;
+      r.len <- n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if drain_requested () then false else go ()
+  in
+  go ()
+
+let take_line r =
+  let line = Buffer.contents r.pending in
+  Buffer.clear r.pending;
+  (* tolerate CRLF input *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.length line > max_line_bytes then Overlong else Line line
+
+(* discard input until the next newline (the tail of an overlong line),
+   in bounded memory *)
+let rec discard_line r =
+  match find_newline r with
+  | Some i ->
+    r.pos <- i + 1;
+    Overlong
+  | None ->
+    r.pos <- r.len;
+    if r.eof then Overlong
+    else if refill r then discard_line r
+    else if drain_requested () && not r.eof then Drained
+    else Overlong (* EOF inside the overlong line: still reject it *)
+
+let rec read_line r =
+  match find_newline r with
+  | Some i ->
+    Buffer.add_subbytes r.pending r.chunk r.pos (i - r.pos);
+    r.pos <- i + 1;
+    take_line r
+  | None ->
+    Buffer.add_subbytes r.pending r.chunk r.pos (r.len - r.pos);
+    r.pos <- r.len;
+    if Buffer.length r.pending > max_line_bytes then begin
+      (* stop buffering; eat the rest of the line off the wire *)
+      Buffer.clear r.pending;
+      discard_line r
+    end
+    else if r.eof then
+      if Buffer.length r.pending > 0 then take_line r else Eof
+    else if refill r then read_line r
+    else if drain_requested () && not r.eof then Drained
+    else if Buffer.length r.pending > 0 then take_line r
+    else Eof
+
+(* true when the next [read_line] can make progress without blocking:
+   a complete line is already buffered, EOF was seen, or the fd has
+   bytes ready.  Used to keep batch gathering non-greedy — the loop
+   blocks only for the {e first} line of a batch, then takes whatever
+   is already available, so a lone warm query on an open pipe or
+   socket is answered immediately instead of waiting for the queue to
+   fill.  (A writer that trickles a partial line can still make the
+   subsequent read block; drain via EINTR covers that.) *)
+let input_pending r =
+  find_newline r <> None || r.eof
+  ||
+  match Unix.select [ r.fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* --- the loop -------------------------------------------------------- *)
+
+type item = Req of string | Too_long
+
+let serve ?(queue = 64) ~pool ~handler ~crash_response ~overlong_response ~input
+    ~output () =
+  if queue < 1 then invalid_arg "Server.serve: queue < 1";
+  let r = make_reader input in
+  let requests = ref 0 in
+  let responses = ref 0 in
+  let drained = ref false in
+  let stop = ref false in
+  while not !stop do
+    (* gather up to [queue] request lines — the bounded in-flight
+       window.  Batch size never depends on the pool width. *)
+    let batch = ref [] in
+    let n = ref 0 in
+    let gathering = ref true in
+    while !gathering && (not !stop) && !n < queue do
+      (* a drain requested at any point (signal, or a handler in the
+         previous batch): stop reading; the lines already gathered are
+         the in-flight work that still completes *)
+      if drain_requested () then begin
+        drained := true;
+        stop := true
+      end
+      else if !n > 0 && not (input_pending r) then
+        (* non-greedy batching: never block holding gathered requests —
+           dispatch what we have and come back for more *)
+        gathering := false
+      else
+        match read_line r with
+        | Line l ->
+          incr n;
+          batch := Req l :: !batch
+        | Overlong ->
+          Metrics.incr "serve.overlong";
+          incr n;
+          batch := Too_long :: !batch
+        | Eof -> stop := true
+        | Drained ->
+          drained := true;
+          stop := true
+    done;
+    if drain_requested () && not !stop then begin
+      drained := true;
+      stop := true
+    end;
+    let items = Array.of_list (List.rev !batch) in
+    if Array.length items > 0 then begin
+      requests := !requests + Array.length items;
+      Metrics.incr ~by:(Array.length items) "serve.requests";
+      Atomic.set inflight_count (Array.length items);
+      (* fault boundary per request: a handler that raises yields an
+         Error slot, everything else still completes *)
+      let results =
+        Pool.map_array_result pool
+          (fun item ->
+            match item with
+            | Too_long -> (overlong_response (), fun () -> ())
+            | Req line -> handler ~line)
+          items
+      in
+      Atomic.set inflight_count 0;
+      (* settle + respond in request order: the deterministic seam *)
+      Array.iteri
+        (fun i result ->
+          let line, settle =
+            match result with
+            | Ok pair -> pair
+            | Error exn ->
+              let fault = Fault.of_exn ~stage:"serve.request" exn in
+              let raw = match items.(i) with Req l -> l | Too_long -> "" in
+              (crash_response ~line:raw fault, fun () -> ())
+          in
+          settle ();
+          output_string output line;
+          output_char output '\n';
+          (* flush per response: a SIGKILL can truncate at most the
+             line being written, and a downstream consumer sees
+             answers as they land *)
+          flush output;
+          incr responses;
+          Metrics.incr "serve.responses")
+        results
+    end
+  done;
+  { requests = !requests; responses = !responses; drained = !drained }
+
+let serve_unix_socket ?queue ~pool ~handler ~crash_response ~overlong_response
+    ~path () =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let requests = ref 0 in
+      let responses = ref 0 in
+      let drained = ref false in
+      let stop = ref false in
+      while not !stop do
+        match Unix.accept sock with
+        | client, _ ->
+          let output = Unix.out_channel_of_descr client in
+          let s =
+            Fun.protect
+              ~finally:(fun () -> try close_out output with Sys_error _ -> ())
+              (fun () ->
+                serve ?queue ~pool ~handler ~crash_response ~overlong_response
+                  ~input:client ~output ())
+          in
+          requests := !requests + s.requests;
+          responses := !responses + s.responses;
+          if s.drained || drain_requested () then begin
+            drained := s.drained || !drained;
+            stop := true
+          end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          if drain_requested () then begin
+            drained := true;
+            stop := true
+          end
+      done;
+      { requests = !requests; responses = !responses; drained = !drained })

@@ -1,0 +1,96 @@
+(** The generic NDJSON serve loop: batched line-in/line-out request
+    processing with fault isolation, bounded admission and graceful
+    drain.
+
+    The loop owns everything protocol-agnostic about [ppcache serve]:
+    it reads request lines from a file descriptor (stdin or an
+    accepted Unix-socket connection), gathers them into batches of at
+    most [queue] lines (the bounded in-flight window — the reader
+    never runs ahead of the workers, so a million-line pipe costs
+    bounded memory), fans each batch across the domain pool, and
+    answers without waiting for the window to fill: gathering blocks
+    only for the first line of a batch, then takes whatever input is
+    already available, so a lone query on an idle pipe or socket is
+    answered immediately.  It
+    writes one response line per request {e in request order},
+    flushing per line so a killed server never leaves a torn response.
+    What the lines mean is the caller's business ({!Core.Service}
+    supplies the handler).
+
+    Fault isolation is layered: the handler is expected to be total
+    (it renders its own error responses), but if it nevertheless
+    raises, the exception is classified by {!Fault.of_exn} at the
+    request boundary and rendered by the caller's [crash_response] —
+    one poisoned request can never take the loop down.
+
+    Each handler result carries a [settle] thunk that the loop runs
+    sequentially, in request order, after the batch completes — the
+    deterministic seam where breaker updates and nearest-model indexes
+    advance, so responses are byte-identical at any pool width.
+
+    Drain: {!request_drain} (installed on SIGTERM/SIGINT by
+    {!install_drain_signals}) makes the loop finish the in-flight
+    batch, stop reading, and return with [drained = true].  A blocking
+    read is interrupted by the signal (EINTR), so a drain never waits
+    on input that will not come. *)
+
+type stats = {
+  requests : int;   (** lines read (including overlong rejects) *)
+  responses : int;  (** lines written *)
+  drained : bool;   (** the loop ended on a drain request, not EOF *)
+}
+
+type handler = line:string -> string * (unit -> unit)
+(** [handler ~line] returns the response line (no trailing newline)
+    and the settle thunk.  Must not block indefinitely; should not
+    raise (raising is survivable but yields the generic crash
+    response). *)
+
+val max_line_bytes : int
+(** Admission bound on a single request line (1 MiB).  Longer lines
+    are discarded without buffering more than one chunk and answered
+    with the caller's [overlong_response] — bounded memory whatever
+    arrives on the wire. *)
+
+val request_drain : unit -> unit
+(** Ask every serve loop in the process to finish its in-flight batch
+    and stop.  Idempotent, async-signal-safe. *)
+
+val drain_requested : unit -> bool
+val reset_drain : unit -> unit
+
+val install_drain_signals : unit -> unit
+(** Route SIGTERM and SIGINT to {!request_drain}. *)
+
+val inflight : unit -> int
+(** Requests in the batch currently being processed — the health
+    query's in-flight gauge. *)
+
+val serve :
+  ?queue:int ->
+  pool:Pool.t ->
+  handler:handler ->
+  crash_response:(line:string -> Fault.t -> string) ->
+  overlong_response:(unit -> string) ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  unit ->
+  stats
+(** Run the loop until EOF or drain.  [queue] (default 64, must be
+    >= 1) bounds both the read-ahead and the per-batch fan-out; it is
+    independent of the pool width, so batch boundaries — and
+    everything settled at them — do not depend on [--jobs].  Counters:
+    [serve.requests], [serve.responses], [serve.overlong]. *)
+
+val serve_unix_socket :
+  ?queue:int ->
+  pool:Pool.t ->
+  handler:handler ->
+  crash_response:(line:string -> Fault.t -> string) ->
+  overlong_response:(unit -> string) ->
+  path:string ->
+  unit ->
+  stats
+(** Listen on a Unix domain socket at [path] (replacing any stale
+    socket file) and serve connections one at a time with {!serve},
+    until a drain is requested.  Aggregated stats. *)

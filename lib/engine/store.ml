@@ -1,0 +1,225 @@
+(* Persistent cross-run model store (see the .mli for the contract).
+
+   The record format is the checkpoint journal's —
+
+     [klen:u32le] [key bytes] [vlen:u32le] [value bytes] [crc:u32le]
+
+   — under its own magic so a store can never be mistaken for (or
+   appended onto) a run checkpoint.  Keys carry their namespace inline
+   as "<ns>\x00<key>": one flat table, namespaced lookups, and the
+   replay path stays byte-compatible with the checkpoint reader. *)
+
+type t = {
+  dir : string;
+  path : string;
+  file_lock : Lockfile.t;
+  mutable oc : out_channel option;
+  lock : Mutex.t;
+  table : (string, string) Hashtbl.t; (* "<ns>\x00<key>" -> marshalled value *)
+  replayed : int;
+  mutable served : int;
+  mutable appended : int;
+  dropped : bool;
+}
+
+let magic = "PPSTOR01"
+let store_name = "store.ppck"
+let max_key_len = 1_000_000
+let max_value_len = 256_000_000
+
+let full_key ~ns ~key =
+  if String.contains ns '\x00' then invalid_arg "Store: namespace contains NUL";
+  ns ^ "\x00" ^ key
+
+(* --- binary plumbing (mirrors Checkpoint's record format) ----------- *)
+
+let u32_to_bytes n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.unsafe_to_string b
+
+let read_u32 ic =
+  let b = Bytes.create 4 in
+  really_input ic b 0 4;
+  Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF
+
+let read_string ic n =
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  Bytes.unsafe_to_string b
+
+let record_crc ~key ~value =
+  (* CRC over key ^ value, identical to the checkpoint record CRC *)
+  Int32.to_int (Checkpoint.crc32 (key ^ value)) land 0xFFFFFFFF
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let replay_channel ic table =
+  let good_end = ref (String.length magic) in
+  (try
+     while true do
+       let klen = read_u32 ic in
+       if klen < 1 || klen > max_key_len then raise Exit;
+       let key = read_string ic klen in
+       let vlen = read_u32 ic in
+       if vlen < 0 || vlen > max_value_len then raise Exit;
+       let value = read_string ic vlen in
+       let crc = read_u32 ic in
+       if record_crc ~key ~value <> crc then raise Exit;
+       Hashtbl.replace table key value;
+       good_end := pos_in ic
+     done
+   with End_of_file | Exit -> ());
+  !good_end
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let open_ ~dir =
+  mkdir_p dir;
+  let path = Filename.concat dir store_name in
+  let file_lock = Lockfile.acquire ~path:(path ^ ".lock") in
+  let body () =
+    let table = Hashtbl.create 256 in
+    let dropped = ref false in
+    let fresh = ref true in
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let size = in_channel_length ic in
+      let good_end =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let head =
+              if size >= String.length magic then read_string ic (String.length magic)
+              else ""
+            in
+            if String.equal head magic then replay_channel ic table else 0)
+      in
+      if good_end > 0 then begin
+        fresh := false;
+        if good_end < size then begin
+          dropped := true;
+          truncate_file path good_end
+        end
+      end
+    end;
+    let oc =
+      if !fresh then begin
+        let oc = open_out_bin path in
+        output_string oc magic;
+        flush oc;
+        oc
+      end
+      else open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+    in
+    let replayed = Hashtbl.length table in
+    if replayed > 0 then Metrics.incr ~by:replayed "store.replayed";
+    if !dropped then Metrics.incr "store.dropped";
+    {
+      dir;
+      path;
+      file_lock;
+      oc = Some oc;
+      lock = Mutex.create ();
+      table;
+      replayed;
+      served = 0;
+      appended = 0;
+      dropped = !dropped;
+    }
+  in
+  match body () with
+  | t -> t
+  | exception e ->
+    Lockfile.release file_lock;
+    raise e
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        t.oc <- None;
+        flush oc;
+        close_out oc);
+  Lockfile.release t.file_lock
+
+let flush t =
+  Mutex.protect t.lock (fun () -> Option.iter Stdlib.flush t.oc)
+
+(* --- access --------------------------------------------------------- *)
+
+let lookup : type a. t -> ns:string -> key:string -> a option =
+ fun t ~ns ~key ->
+  let k = full_key ~ns ~key in
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k) with
+  | None ->
+    Metrics.incr "store.misses";
+    None
+  | Some v ->
+    Mutex.protect t.lock (fun () -> t.served <- t.served + 1);
+    Metrics.incr "store.hits";
+    Some (Marshal.from_string v 0)
+
+let add t ~ns ~key v =
+  let k = full_key ~ns ~key in
+  let value = Marshal.to_string v [] in
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.table k) then begin
+        Hashtbl.replace t.table k value;
+        match t.oc with
+        | None -> ()
+        | Some oc ->
+          output_string oc (u32_to_bytes (String.length k));
+          output_string oc k;
+          output_string oc (u32_to_bytes (String.length value));
+          output_string oc value;
+          output_string oc (u32_to_bytes (record_crc ~key:k ~value));
+          (* flush per record: a SIGKILL loses at most the half-written
+             tail, which the next open truncates *)
+          Stdlib.flush oc;
+          t.appended <- t.appended + 1;
+          Metrics.incr "store.appended"
+      end)
+
+let mem t ~ns ~key =
+  let k = full_key ~ns ~key in
+  Mutex.protect t.lock (fun () -> Hashtbl.mem t.table k)
+
+let keys t ~ns =
+  let prefix = ns ^ "\x00" in
+  let plen = String.length prefix in
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun k _ acc ->
+          if String.length k >= plen && String.sub k 0 plen = prefix then
+            String.sub k plen (String.length k - plen) :: acc
+          else acc)
+        t.table [])
+  |> List.sort String.compare
+
+let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let replayed t = t.replayed
+let appended t = Mutex.protect t.lock (fun () -> t.appended)
+let served t = Mutex.protect t.lock (fun () -> t.served)
+let dropped_tail t = t.dropped
+let dir t = t.dir
+let path t = t.path
+
+let bytes t =
+  Mutex.protect t.lock (fun () -> Option.iter Stdlib.flush t.oc);
+  try (Unix.stat t.path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* --- the process-wide active store ---------------------------------- *)
+
+let active_state : t option Atomic.t = Atomic.make None
+let set_active s = Atomic.set active_state s
+let active () = Atomic.get active_state

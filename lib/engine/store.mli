@@ -1,0 +1,85 @@
+(** Persistent cross-run model store: the {!Checkpoint} journal idea
+    generalised from "one run's sweep slots" to "every expensive
+    artefact this machine has ever computed".
+
+    The store is an append-only binary journal ([DIR/store.ppck], magic
+    [PPSTOR01]) of [(namespace, key) -> marshalled value] records, each
+    guarded by the same CRC-32 as the checkpoint journal and flushed as
+    written.  Opening always replays: records are read until the first
+    truncated or CRC-mismatching one, the file is truncated back to the
+    last good record, and the lost tail is simply recomputed by later
+    queries — a SIGKILL mid-append can at worst lose the record being
+    written.  A {!Lockfile} on [store.ppck.lock] enforces one writer
+    per directory (stale locks from dead owners are broken
+    automatically).
+
+    [ppcache serve] arms one store process-wide ({!set_active}) and
+    keys everything by {!Core.Context.fingerprint}-derived strings:
+
+    - ["model"]    — fitted cache models ({!Nmcache_fit.Fitted_cache.t}),
+                     so a restarted server never re-characterises a
+                     cache it has seen under any budget;
+    - ["curve"]    — memoised miss-rate curves;
+    - ["response"] — rendered query results, so a warm query answers in
+                     microseconds without touching the numeric stack.
+
+    Values travel through [Marshal]: a lookup must deserialise at the
+    type that was stored, which the namespace discipline guarantees —
+    one namespace, one value type.  All operations are domain-safe. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating [dir] as needed) and replay the store at
+    [dir/store.ppck], truncating any corrupt tail.  Raises
+    {!Lockfile.Locked} when another live process holds the directory.
+    Counters: [store.replayed], [store.dropped]. *)
+
+val close : t -> unit
+(** Flush, close and release the writer lock.  Idempotent. *)
+
+val flush : t -> unit
+(** Force buffered appends to disk (appends already flush per record;
+    this is the belt-and-braces call on graceful drain). *)
+
+val lookup : t -> ns:string -> key:string -> 'a option
+(** The stored value for [(ns, key)], if present — counted under
+    [store.hits]; misses under [store.misses].  Unsafe at the wrong
+    type, like [Marshal]; respect the namespace discipline. *)
+
+val add : t -> ns:string -> key:string -> 'a -> unit
+(** Persist [(ns, key) -> value] (marshalled, CRC-guarded, flushed)
+    unless the key is already present — first write wins, so replayed
+    and recomputed values can never fight.  Counted under
+    [store.appended]. *)
+
+val mem : t -> ns:string -> key:string -> bool
+
+val keys : t -> ns:string -> string list
+(** Every key stored under [ns], sorted — the nearest-neighbour index
+    the degraded-answer path scans.  Deterministic for a deterministic
+    request history. *)
+
+val entries : t -> int
+val replayed : t -> int
+val appended : t -> int
+val served : t -> int
+val dropped_tail : t -> bool
+val dir : t -> string
+val path : t -> string
+
+val bytes : t -> int
+(** Current on-disk size of the journal file in bytes. *)
+
+(* -- the process-wide active store ---------------------------------- *)
+
+val set_active : t option -> unit
+val active : unit -> t option
+
+(* -- exposed for tests ----------------------------------------------- *)
+
+val magic : string
+(** ["PPSTOR01"]. *)
+
+val store_name : string
+(** ["store.ppck"]. *)

@@ -8,6 +8,13 @@ let () =
   | Some target -> Test_resilience.writer_child_main target; exit 0
   | None -> ()
 
+(* Child mode for the kill-mid-serve chaos test: run the serve loop
+   over a query file until SIGKILLed. *)
+let () =
+  match Sys.getenv_opt Test_serve.serve_child_env with
+  | Some spec -> Test_serve.serve_child_main spec; exit 0
+  | None -> ()
+
 let () =
   Alcotest.run "nmcache"
     [
@@ -27,6 +34,7 @@ let () =
       ("engine", Test_engine.suite);
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("report", Test_report.suite);
