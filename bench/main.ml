@@ -283,6 +283,91 @@ let serve_scenario ctx =
   (cold_digest, extra)
 
 (* ------------------------------------------------------------------ *)
+(* Stream scenario: record + chunk-equivalent streamed replay           *)
+
+module Stream_trace = Nmcache_cachesim.Stream_trace
+module Trace = Nmcache_cachesim.Trace
+
+(* The streaming trajectory point: record one headline workload to a
+   temporary PPTRC01 file, then simulate it streamed at a small and a
+   large chunk size.  The timed region is the recording plus both
+   replays; the digest pins the rates and the trace statistics, and
+   the scenario aborts (exit 1) if the two chunk sizes disagree on a
+   single bit — like the serve scenario, the bench doubles as an
+   equivalence gate. *)
+let stream_scenario ctx =
+  let workload = List.hd Nmcache_workload.Registry.headline in
+  (* several multiples of the sweep trace length: streaming is the
+     scale story, and a multi-second timed region keeps the CI
+     regression gate out of timer-noise territory *)
+  let n = 8 * ctx.Core.Context.n_sim in
+  let chunk_small = 1024 and chunk_large = 65536 in
+  let path = Filename.temp_file "ppcache-bench-stream" ".pptrc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Printf.printf
+    "==================================================================\n\
+    \ Stream scenario: record %s (%d accesses), replay at chunk %d vs %d\n\
+     ==================================================================\n"
+    workload n chunk_small chunk_large;
+  let gen = Nmcache_workload.Registry.build ~seed:ctx.Core.Context.seed workload in
+  Stream_trace.write_file ~path ~name:workload ~chunk_size:8192
+    ~next:(fun () ->
+      let a = Gen.next gen in
+      { Trace.addr = a.Access.addr; write = a.Access.write })
+    ~n ();
+  let point chunk_size =
+    Nmcache_workload.Missrate.simulate_stream ~warmup:false
+      ~stream:(Stream_trace.of_file ~chunk_size path)
+      ~l1_size:(16 * 1024) ~l2_size:(256 * 1024) ()
+  in
+  let p_small = point chunk_small in
+  let p_large = point chunk_large in
+  if p_small <> p_large then begin
+    Printf.eprintf
+      "bench: stream scenario: chunk %d diverged from chunk %d (L1 %.6f vs %.6f)\n"
+      chunk_small chunk_large p_small.Nmcache_workload.Missrate.l1_miss
+      p_large.Nmcache_workload.Missrate.l1_miss;
+    exit 1
+  end;
+  let stats = Stream_trace.analyze (Stream_trace.of_file path) in
+  let info = Stream_trace.file_info path in
+  let bytes = (Unix.stat path).Unix.st_size in
+  Printf.printf "[stream: %d accesses, %d on-disk chunks, %d bytes (%.2f B/access)]\n"
+    info.Stream_trace.fi_entries info.Stream_trace.fi_chunks bytes
+    (float_of_int bytes /. float_of_int (max 1 info.Stream_trace.fi_entries));
+  Printf.printf "[stream miss rates: L1 %.6f, L2 local %.6f, L2 global %.6f]\n"
+    p_small.Nmcache_workload.Missrate.l1_miss
+    p_small.Nmcache_workload.Missrate.l2_local
+    p_small.Nmcache_workload.Missrate.l2_global;
+  let digest =
+    p_small.Nmcache_workload.Missrate.l1_miss
+    +. p_small.Nmcache_workload.Missrate.l2_local
+    +. p_small.Nmcache_workload.Missrate.l2_global
+    +. float_of_int stats.Trace.distinct_blocks
+    +. stats.Trace.sequential_fraction
+  in
+  let extra =
+    [
+      ( "stream",
+        Json.Obj
+          [
+            ("workload", Json.String workload);
+            ("accesses", Json.Int info.Stream_trace.fi_entries);
+            ("file_bytes", Json.Int bytes);
+            ("chunks", Json.Int info.Stream_trace.fi_chunks);
+            ("chunk_small", Json.Int chunk_small);
+            ("chunk_large", Json.Int chunk_large);
+            ("l1_miss", Json.Float p_small.Nmcache_workload.Missrate.l1_miss);
+            ("l2_local", Json.Float p_small.Nmcache_workload.Missrate.l2_local);
+            ("l2_global", Json.Float p_small.Nmcache_workload.Missrate.l2_global);
+          ] );
+    ]
+  in
+  (digest, extra)
+
+(* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction                                                *)
 
 let reproduce ctx ~jobs =
@@ -498,8 +583,19 @@ let () =
       ~wall_s:wall ();
     write_metrics_prom ();
     exit 0
+  | "stream" ->
+    let t0 = Unix.gettimeofday () in
+    Span.set_enabled true;
+    let digest, extra = stream_scenario ctx in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "stream scenario wall time: %.2f s\n" wall;
+    write_bench_json ~scenario:"stream" ~digest ~extra ~label ~jobs ~quick
+      ~wall_s:wall ();
+    write_metrics_prom ();
+    exit 0
   | other ->
-    Printf.eprintf "bench: unknown --scenario %S (expected sweep or serve)\n" other;
+    Printf.eprintf "bench: unknown --scenario %S (expected sweep, serve or stream)\n"
+      other;
     exit 2);
   let t0 = Unix.gettimeofday () in
   Span.set_enabled true;

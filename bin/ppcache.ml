@@ -13,6 +13,14 @@ module Fitted_cache = Nmcache_fit.Fitted_cache
 module Model = Nmcache_fit.Model
 module Missrate = Nmcache_workload.Missrate
 module Registry = Nmcache_workload.Registry
+module Gen = Nmcache_workload.Gen
+module Access = Nmcache_workload.Access
+module Wstream = Nmcache_workload.Stream
+module Trace_rec = Nmcache_cachesim.Trace
+module Stream_trace = Nmcache_cachesim.Stream_trace
+module Cache = Nmcache_cachesim.Cache
+module Hierarchy = Nmcache_cachesim.Hierarchy
+module Replacement = Nmcache_cachesim.Replacement
 
 open Cmdliner
 
@@ -451,31 +459,123 @@ let characterize_cmd =
 
 (* --- simulate --------------------------------------------------------- *)
 
-let simulate workload l1_kb l2_kb n trace trace_json metrics_json =
-  (* validate upfront so a typo'd name is a usage error with the menu
-     of valid names, not a raw Invalid_argument from Registry.build *)
-  if Registry.find workload = None then begin
-    Printf.eprintf "unknown workload %S; available: %s\n" workload
-      (String.concat ", " Registry.names);
-    exit 2
-  end;
+let print_point ~header p =
+  print_string header;
+  Printf.printf "  L1 miss rate       %.3f%%\n" (100.0 *. p.Missrate.l1_miss);
+  Printf.printf "  L2 local miss rate %.3f%%\n" (100.0 *. p.Missrate.l2_local);
+  Printf.printf "  L2 global miss     %.3f%%\n" (100.0 *. p.Missrate.l2_global)
+
+(* Simulate a recorded (or piped) trace: one streamed pass carries the
+   hierarchy, the running statistics analyzer and the access count —
+   a single traversal, because a pipe cannot be re-read.  When a
+   checkpoint journal is armed and the source is a trace file, chunk
+   boundaries are resumable slots.  Returns false for an empty trace:
+   there is no defined miss rate, so the caller exits 2 (the exit runs
+   outside the journal/report Fun.protect wrappers). *)
+let simulate_trace_source ~source ~chunk ~l1_kb ~l2_kb =
+  let s =
+    match source with
+    | `File path -> Stream_trace.of_file ~chunk_size:chunk path
+    | `Stdin -> Stream_trace.of_ndjson_fd ~chunk_size:chunk ~name:"stdin" Unix.stdin
+  in
+  let l1_size = l1_kb * 1024 and l2_size = l2_kb * 1024 in
+  let h =
+    let l1 =
+      Cache.create ~size_bytes:l1_size ~assoc:4 ~block_bytes:64
+        ~policy:Replacement.Lru ()
+    in
+    let l2 =
+      Cache.create ~size_bytes:l2_size ~assoc:8 ~block_bytes:64
+        ~policy:Replacement.Lru ()
+    in
+    Hierarchy.create ~l1 ~l2
+  in
+  let salt = Printf.sprintf "simulate-trace:%d:%d" l1_size l2_size in
+  let h, analyzer, count =
+    Stream_trace.resumable_fold ~salt s ~init:(h, Trace_rec.analyzer (), 0)
+      ~f:(fun (h, a, count) ~index:_ entries ->
+        Array.iter
+          (fun (e : Trace_rec.entry) ->
+            Trace_rec.feed_analyzer a e;
+            ignore (Hierarchy.access h e.Trace_rec.addr ~write:e.Trace_rec.write))
+          entries;
+        (h, a, count + Array.length entries))
+  in
+  if count = 0 then begin
+    Printf.eprintf "ppcache: trace %s is empty (0 accesses); nothing to simulate\n"
+      (Stream_trace.name s);
+    false
+  end
+  else begin
+    Printf.printf "trace %s (%d accesses, L1 %dKB, L2 %dKB):\n" (Stream_trace.name s)
+      count l1_kb l2_kb;
+    Format.printf "  %a@." Trace_rec.pp_stats (Trace_rec.analyzer_stats analyzer);
+    print_point ~header:""
+      {
+        Missrate.l1_miss = Hierarchy.l1_miss_rate h;
+        l2_local = Hierarchy.l2_local_miss_rate h;
+        l2_global = Hierarchy.l2_global_miss_rate h;
+      };
+    true
+  end
+
+let simulate workload l1_kb l2_kb n stream chunk trace_file trace_stdin jobs
+    checkpoint resume retries deadline trace trace_json metrics_json events progress =
+  set_jobs jobs;
+  set_resilience ~retries ~deadline;
   require_positive "l1" l1_kb;
   require_positive "l2" l2_kb;
-  require_positive "n" n;
-  usage_guard @@ fun () ->
-  with_observability ~trace ~trace_json ~metrics_json (fun () ->
-      let p =
-        Nmcache_engine.Span.with_span
-          ~attrs:[ ("workload", Nmcache_engine.Json.String workload) ]
-          "simulate"
-          (fun () ->
-            Missrate.simulate ~workload ~l1_size:(l1_kb * 1024)
-              ~l2_size:(l2_kb * 1024) ~n ())
-      in
-      Printf.printf "%s over %d accesses (L1 %dKB, L2 %dKB):\n" workload n l1_kb l2_kb;
-      Printf.printf "  L1 miss rate       %.3f%%\n" (100.0 *. p.Missrate.l1_miss);
-      Printf.printf "  L2 local miss rate %.3f%%\n" (100.0 *. p.Missrate.l2_local);
-      Printf.printf "  L2 global miss     %.3f%%\n" (100.0 *. p.Missrate.l2_global))
+  require_positive "chunk" chunk;
+  if trace_file <> None && trace_stdin then begin
+    Printf.eprintf "ppcache: --trace-file and --trace-stdin are mutually exclusive\n";
+    exit 2
+  end;
+  let source =
+    match (trace_file, trace_stdin) with
+    | Some path, _ -> Some (`File path)
+    | None, true -> Some `Stdin
+    | None, false -> None
+  in
+  (match source with
+  | None ->
+    (* validate upfront so a typo'd name is a usage error with the menu
+       of valid names, not a raw Invalid_argument from Registry.build *)
+    if Registry.find workload = None then begin
+      Printf.eprintf "unknown workload %S; available: %s\n" workload
+        (String.concat ", " Registry.names);
+      exit 2
+    end;
+    require_positive "n" n
+  | Some _ -> ());
+  let ok = ref true in
+  usage_guard (fun () ->
+      with_observability ~events ~progress ~trace ~trace_json ~metrics_json (fun () ->
+          with_checkpoint ~checkpoint ~resume (fun () ->
+              match source with
+              | None ->
+                (* the workload path: --stream must not change a byte of
+                   the output (the stream gate diffs the two stdouts) *)
+                let p =
+                  Nmcache_engine.Span.with_span
+                    ~attrs:[ ("workload", Nmcache_engine.Json.String workload) ]
+                    "simulate"
+                    (fun () ->
+                      if stream then
+                        Missrate.simulate_stream
+                          ~stream:(Wstream.of_workload ~chunk_size:chunk ~workload ~n ())
+                          ~l1_size:(l1_kb * 1024) ~l2_size:(l2_kb * 1024) ()
+                      else
+                        Missrate.simulate ~workload ~l1_size:(l1_kb * 1024)
+                          ~l2_size:(l2_kb * 1024) ~n ())
+                in
+                print_point
+                  ~header:
+                    (Printf.sprintf "%s over %d accesses (L1 %dKB, L2 %dKB):\n"
+                       workload n l1_kb l2_kb)
+                  p
+              | Some source ->
+                ok := simulate_trace_source ~source ~chunk ~l1_kb ~l2_kb)));
+  if not !ok then exit 2
 
 let simulate_cmd =
   let workload =
@@ -484,11 +584,140 @@ let simulate_cmd =
   let l1 = Arg.(value & opt int 16 & info [ "l1" ] ~docv:"KB" ~doc:"L1 size in KB.") in
   let l2 = Arg.(value & opt int 1024 & info [ "l2" ] ~docv:"KB" ~doc:"L2 size in KB.") in
   let n = Arg.(value & opt int 2_000_000 & info [ "n"; "accesses" ] ~doc:"Trace length.") in
-  let doc = "Simulate a workload through an L1+L2 hierarchy and print miss rates." in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Simulate the workload through the chunked streaming engine (O(chunk) \
+             memory) instead of generator iteration.  Output is byte-identical \
+             either way; with $(b,--checkpoint), chunk boundaries become resume \
+             points.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int Stream_trace.default_chunk_size
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:
+            "Streaming chunk size in accesses (deadline polls, progress events \
+             and checkpoint slots fire per chunk).  Never changes results.")
+  in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "Simulate a recorded PPTRC01 trace (see $(b,ppcache trace record)) \
+             instead of a generator workload; no warmup is applied and the trace \
+             statistics are printed alongside the miss rates.  An empty trace \
+             exits 2.")
+  in
+  let trace_stdin =
+    Arg.(
+      value & flag
+      & info [ "trace-stdin" ]
+          ~doc:
+            "Read the trace as NDJSON lines ({\"addr\":N,\"write\":bool}) from \
+             stdin through the bounded-memory reader.  Mutually exclusive with \
+             $(b,--trace-file).")
+  in
+  let doc =
+    "Simulate a workload (or a recorded/piped trace) through an L1+L2 hierarchy \
+     and print miss rates.  Streamed and materialised paths are byte-identical; \
+     with $(b,--checkpoint) a killed streamed run resumes byte-identically."
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const simulate $ workload $ l1 $ l2 $ n $ trace_arg $ trace_json_arg
-      $ metrics_json_arg)
+      const simulate $ workload $ l1 $ l2 $ n $ stream $ chunk $ trace_file
+      $ trace_stdin $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg
+      $ deadline_arg $ trace_arg $ trace_json_arg $ metrics_json_arg $ events_arg
+      $ progress_arg)
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_record workload n out chunk seed =
+  if Registry.find workload = None then begin
+    Printf.eprintf "unknown workload %S; available: %s\n" workload
+      (String.concat ", " Registry.names);
+    exit 2
+  end;
+  if n < 0 then begin
+    Printf.eprintf "ppcache: --n must be >= 0, got %d\n" n;
+    exit 2
+  end;
+  require_positive "chunk" chunk;
+  validate_out_path ~flag:"out" out;
+  usage_guard @@ fun () ->
+  let gen = Registry.build ~seed workload in
+  Stream_trace.write_file ~path:out ~name:workload ~chunk_size:chunk
+    ~next:(fun () ->
+      let a = Gen.next gen in
+      { Trace_rec.addr = a.Access.addr; write = a.Access.write })
+    ~n ();
+  Printf.printf "recorded %s: %d accesses to %s (chunk %d)\n" workload n out chunk
+
+let trace_info file =
+  usage_guard @@ fun () ->
+  let info =
+    try Stream_trace.file_info file
+    with Sys_error msg ->
+      Printf.eprintf "ppcache: %s\n" msg;
+      exit 2
+  in
+  Printf.printf "%s: workload %s, %d/%d accesses in %d chunks (on-disk chunk %d)%s\n"
+    file info.Stream_trace.fi_name info.Stream_trace.fi_entries
+    info.Stream_trace.fi_total info.Stream_trace.fi_chunks
+    info.Stream_trace.fi_chunk_size
+    (if info.Stream_trace.fi_dropped_tail then ", corrupt tail dropped" else "");
+  let stats = Stream_trace.analyze (Stream_trace.of_file file) in
+  if stats.Trace_rec.accesses = 0 then print_endline "  empty trace"
+  else Format.printf "  %a@." Trace_rec.pp_stats stats
+
+let trace_record_cmd =
+  let workload =
+    Arg.(value & opt string "spec2000-mix" & info [ "workload" ] ~doc:"Workload name.")
+  in
+  let n =
+    Arg.(value & opt int 2_000_000 & info [ "n"; "accesses" ] ~doc:"Trace length.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file (PPTRC01).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int Stream_trace.default_chunk_size
+      & info [ "chunk" ] ~docv:"N" ~doc:"On-disk chunk size in accesses.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 Registry.default_seed
+      & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let doc =
+    "Record a workload to a compressed PPTRC01 trace file (delta-encoded, \
+     CRC-guarded per chunk) in O(chunk) memory, for later $(b,ppcache simulate \
+     --trace-file) replay."
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const trace_record $ workload $ n $ out $ chunk $ seed)
+
+let trace_info_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let doc =
+    "Validate and summarise a PPTRC01 trace file: header, CRC + decode scan of \
+     every chunk (a torn tail is reported, a foreign file exits 2), and \
+     streamed trace statistics."
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const trace_info $ file)
+
+let trace_cmd =
+  let doc = "Record and inspect compressed PPTRC01 trace files." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_record_cmd; trace_info_cmd ]
 
 (* --- verify ----------------------------------------------------------- *)
 
@@ -759,6 +988,7 @@ let main =
       list_cmd;
       characterize_cmd;
       simulate_cmd;
+      trace_cmd;
       verify_cmd;
       bench_cmd;
       workloads_cmd;

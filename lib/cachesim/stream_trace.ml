@@ -1,0 +1,539 @@
+(* Chunked streaming traces.
+
+   The design constraint is byte-identity: for every chunk size, a
+   streamed computation must produce results bitwise-equal to the same
+   computation over a materialised [Trace.t].  Chunking therefore only
+   decides *when* the engine seams fire (deadline polls, progress
+   events, checkpoint slots) — never *what* the consumer observes.
+   The test suite and the [oracle.stream] verify group enforce this
+   across chunk sizes {1, 7, 4096, whole} and [--jobs] settings.
+
+   Memory is O(chunk): a chunk buffer plus whatever the consumer
+   carries.  The PPTRC01 reader additionally holds one decoded on-disk
+   record, so a file recorded at a huge chunk grain costs that grain —
+   recording and streaming grains are otherwise independent. *)
+
+module Engine = Nmcache_engine
+
+let default_chunk_size = 65536
+let magic = "PPTRC01\x00"
+
+(* ---- PPTRC01 codec --------------------------------------------------- *)
+
+(* Per entry, one LEB128 varint of [zigzag(addr - prev) * 2 + write].
+   [prev] resets to 0 at each record boundary so records decode
+   independently (a dropped tail never poisons earlier records). *)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+(* returns the entry's address: the caller threads it as [prev] *)
+let encode_entry buf prev (e : Trace.entry) =
+  let z = zigzag (e.addr - prev) in
+  let v = ref ((z lsl 1) lor (if e.write then 1 else 0)) in
+  let continue = ref true in
+  while !continue do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done;
+  e.addr
+
+(* [None] on any overrun/garbage: the caller treats the record as a
+   corrupt tail, mirroring a CRC mismatch *)
+let decode_payload payload count =
+  let len = String.length payload in
+  let out = Array.make (max count 1) { Trace.addr = 0; write = false } in
+  let pos = ref 0 in
+  let prev = ref 0 in
+  try
+    for i = 0 to count - 1 do
+      let v = ref 0 and shift = ref 0 and continue = ref true in
+      while !continue do
+        if !pos >= len || !shift > 62 then raise Exit;
+        let b = Char.code payload.[!pos] in
+        incr pos;
+        v := !v lor ((b land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        continue := b land 0x80 <> 0
+      done;
+      let addr = !prev + unzigzag (!v lsr 1) in
+      prev := addr;
+      out.(i) <- { Trace.addr; write = !v land 1 = 1 }
+    done;
+    if !pos <> len then None else Some (Array.sub out 0 count)
+  with Exit -> None
+
+(* Checkpoint's u32 helpers are private to the journal; the trace file
+   carries its own (same little-endian layout). *)
+let write_u32 oc v =
+  output_byte oc (v land 0xff);
+  output_byte oc ((v lsr 8) land 0xff);
+  output_byte oc ((v lsr 16) land 0xff);
+  output_byte oc ((v lsr 24) land 0xff)
+
+let crc_to_u32 crc = Int32.to_int crc land 0xffffffff
+
+(* raises [End_of_file] when the stream ends mid-word *)
+let read_u32 ic =
+  let b0 = input_byte ic in
+  let b1 = input_byte ic in
+  let b2 = input_byte ic in
+  let b3 = input_byte ic in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+type file_header = {
+  fh_name : string;
+  fh_total : int;
+  fh_chunk : int;
+}
+
+let max_header_bytes = 1 lsl 20
+let max_payload_bytes = 1 lsl 30
+
+(* Foreign or corrupt headers are a *usage* error (wrong file), not a
+   torn tail, so they raise [Invalid_argument] like other bad inputs. *)
+let read_header ic ~path =
+  let fail why = invalid_arg (Printf.sprintf "%s: %s" path why) in
+  match
+    let m = really_input_string ic (String.length magic) in
+    if m <> magic then `Foreign
+    else begin
+      let hlen = read_u32 ic in
+      if hlen > max_header_bytes then `Corrupt
+      else
+        let hdr = really_input_string ic hlen in
+        let crc = read_u32 ic in
+        if crc <> crc_to_u32 (Engine.Checkpoint.crc32 hdr) then `Corrupt
+        else
+          match Engine.Json.parse hdr with
+          | Error _ -> `Corrupt
+          | Ok j -> (
+            let field name conv =
+              Option.bind (Engine.Json.member name j) conv
+            in
+            match
+              ( field "name" Engine.Json.to_str,
+                field "total" Engine.Json.to_int,
+                field "chunk" Engine.Json.to_int )
+            with
+            | Some fh_name, Some fh_total, Some fh_chunk
+              when fh_total >= 0 && fh_chunk >= 1 ->
+              `Header { fh_name; fh_total; fh_chunk }
+            | _ -> `Corrupt)
+    end
+  with
+  | `Header h -> h
+  | `Foreign -> fail "not a PPTRC01 trace file"
+  | `Corrupt -> fail "corrupt PPTRC01 header"
+  | exception End_of_file -> fail "not a PPTRC01 trace file (truncated header)"
+
+exception Corrupt_tail
+
+(* [None] at a clean end-of-file (a record boundary); [Corrupt_tail] on
+   anything torn — a partial word, short payload, or CRC mismatch. *)
+let read_record ic =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | b0 -> (
+    try
+      let b1 = input_byte ic in
+      let b2 = input_byte ic in
+      let b3 = input_byte ic in
+      let count = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+      let plen = read_u32 ic in
+      if plen > max_payload_bytes || count > plen + 1 then raise Corrupt_tail;
+      let payload = really_input_string ic plen in
+      let crc = read_u32 ic in
+      if crc <> crc_to_u32 (Engine.Checkpoint.crc32 payload) then
+        raise Corrupt_tail;
+      Some (count, payload)
+    with End_of_file -> raise Corrupt_tail)
+
+let write_file ~path ~name ?(chunk_size = default_chunk_size) ~next ~n () =
+  if n < 0 then invalid_arg "Stream_trace.write_file: n < 0";
+  if chunk_size < 1 then invalid_arg "Stream_trace.write_file: chunk_size < 1";
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      let hdr =
+        Engine.Json.to_string
+          (Engine.Json.Obj
+             [
+               ("name", Engine.Json.String name);
+               ("total", Engine.Json.Int n);
+               ("chunk", Engine.Json.Int chunk_size);
+             ])
+      in
+      write_u32 oc (String.length hdr);
+      output_string oc hdr;
+      write_u32 oc (crc_to_u32 (Engine.Checkpoint.crc32 hdr));
+      let buf = Buffer.create (min (4 * chunk_size) (1 lsl 22)) in
+      let written = ref 0 in
+      while !written < n do
+        let count = min chunk_size (n - !written) in
+        Buffer.clear buf;
+        let prev = ref 0 in
+        for _ = 1 to count do
+          prev := encode_entry buf !prev (next ())
+        done;
+        let payload = Buffer.contents buf in
+        write_u32 oc count;
+        write_u32 oc (String.length payload);
+        output_string oc payload;
+        write_u32 oc (crc_to_u32 (Engine.Checkpoint.crc32 payload));
+        written := !written + count
+      done)
+
+type file_info = {
+  fi_name : string;
+  fi_total : int;
+  fi_chunk_size : int;
+  fi_chunks : int;
+  fi_entries : int;
+  fi_dropped_tail : bool;
+}
+
+let file_info path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fh = read_header ic ~path in
+      let chunks = ref 0 and entries = ref 0 in
+      let dropped = ref false and stop = ref false in
+      while not !stop do
+        match read_record ic with
+        | None -> stop := true
+        | exception Corrupt_tail ->
+          dropped := true;
+          stop := true
+        | Some (count, payload) -> (
+          (* decode too: [fi_entries] must be exactly what streaming
+             yields, and streaming drops undecodable records *)
+          match decode_payload payload count with
+          | None ->
+            dropped := true;
+            stop := true
+          | Some _ ->
+            incr chunks;
+            entries := !entries + count)
+      done;
+      if !dropped then Engine.Metrics.incr "stream.dropped_tail";
+      {
+        fi_name = fh.fh_name;
+        fi_total = fh.fh_total;
+        fi_chunk_size = fh.fh_chunk;
+        fi_chunks = !chunks;
+        fi_entries = !entries;
+        fi_dropped_tail = !dropped;
+      })
+
+(* ---- sources --------------------------------------------------------- *)
+
+type source =
+  | Producer of {
+      p_name : string;
+      p_n : int;
+      p_make : unit -> unit -> Trace.entry;
+    }
+  | Trace_src of { t_name : string; t_trace : Trace.t }
+  | File of { f_path : string; f_header : file_header }
+  | Fd of { d_name : string; d_fd : Unix.file_descr }
+
+type t = {
+  source : source;
+  chunk_size : int;
+  skey : string option;
+}
+
+let check_chunk_size cs =
+  if cs < 1 then invalid_arg "Stream_trace: chunk_size < 1"
+
+let of_producer ?(chunk_size = default_chunk_size) ?key ~name ~n make =
+  check_chunk_size chunk_size;
+  if n < 0 then invalid_arg "Stream_trace.of_producer: n < 0";
+  {
+    source = Producer { p_name = name; p_n = n; p_make = make };
+    chunk_size;
+    skey = key;
+  }
+
+let of_trace ?(chunk_size = default_chunk_size) ?key ~name trace =
+  check_chunk_size chunk_size;
+  { source = Trace_src { t_name = name; t_trace = trace }; chunk_size; skey = key }
+
+let of_file ?(chunk_size = default_chunk_size) ?key path =
+  check_chunk_size chunk_size;
+  let ic = open_in_bin path in
+  let header =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> read_header ic ~path)
+  in
+  let skey =
+    match key with
+    | Some _ -> key
+    | None ->
+      (* the stream's checkpoint identity: the recording plus the
+         streaming grain (slots are per-chunk, so the grain is an
+         input) *)
+      Some
+        (Printf.sprintf "pptrc:%s:%d:%d" header.fh_name header.fh_total
+           chunk_size)
+  in
+  { source = File { f_path = path; f_header = header }; chunk_size; skey }
+
+let of_ndjson_fd ?(chunk_size = default_chunk_size) ~name fd =
+  check_chunk_size chunk_size;
+  (* a pipe cannot be re-read, so the stream never gets a checkpoint
+     identity: resumable folds degrade to plain folds *)
+  { source = Fd { d_name = name; d_fd = fd }; chunk_size; skey = None }
+
+let name t =
+  match t.source with
+  | Producer { p_name; _ } -> p_name
+  | Trace_src { t_name; _ } -> t_name
+  | File { f_header; _ } -> f_header.fh_name
+  | Fd { d_name; _ } -> d_name
+
+let chunk_size t = t.chunk_size
+let key t = t.skey
+
+let declared_length t =
+  match t.source with
+  | Producer { p_n; _ } -> Some p_n
+  | Trace_src { t_trace; _ } -> Some (Trace.length t_trace)
+  | File { f_header; _ } -> Some f_header.fh_total
+  | Fd _ -> None
+
+(* ---- feeds ----------------------------------------------------------- *)
+
+(* a feed is a pull source plus its cleanup: [next] yields entries until
+   [None], [close] releases whatever backs it *)
+
+let file_feed path =
+  let ic = open_in_bin path in
+  let () =
+    match read_header ic ~path with
+    | _ -> ()
+    | exception e ->
+      close_in_noerr ic;
+      raise e
+  in
+  let buf = ref [||] in
+  let pos = ref 0 in
+  let finished = ref false in
+  let drop () =
+    Engine.Metrics.incr "stream.dropped_tail";
+    finished := true
+  in
+  let rec next () =
+    if !pos < Array.length !buf then begin
+      let e = (!buf).(!pos) in
+      incr pos;
+      Some e
+    end
+    else if !finished then None
+    else
+      match read_record ic with
+      | None ->
+        finished := true;
+        None
+      | exception Corrupt_tail ->
+        drop ();
+        None
+      | Some (count, payload) -> (
+        match decode_payload payload count with
+        | None ->
+          drop ();
+          None
+        | Some entries ->
+          buf := entries;
+          pos := 0;
+          next ())
+  in
+  (next, fun () -> close_in_noerr ic)
+
+let ndjson_feed ~name fd =
+  let reader = Engine.Server.make_reader fd in
+  let line_no = ref 0 in
+  let fail line_no why =
+    invalid_arg
+      (Printf.sprintf "Stream_trace %s: NDJSON line %d: %s" name line_no why)
+  in
+  let rec next () =
+    match Engine.Server.read_line reader with
+    | Engine.Server.Eof | Engine.Server.Drained -> None
+    | Engine.Server.Overlong ->
+      fail (!line_no + 1)
+        (Printf.sprintf "line exceeds %d bytes" Engine.Server.max_line_bytes)
+    | Engine.Server.Line line -> (
+      incr line_no;
+      if String.trim line = "" then next ()
+      else
+        match Engine.Json.parse line with
+        | Error msg -> fail !line_no msg
+        | Ok j -> (
+          let addr = Option.bind (Engine.Json.member "addr" j) Engine.Json.to_int in
+          let write =
+            match Engine.Json.member "write" j with
+            | Some (Engine.Json.Bool b) -> b
+            | Some _ -> fail !line_no "\"write\" must be a boolean"
+            | None -> false
+          in
+          match addr with
+          | Some a when a >= 0 -> Some { Trace.addr = a; write }
+          | Some _ -> fail !line_no "negative \"addr\""
+          | None -> fail !line_no "missing or non-integer \"addr\""))
+  in
+  (next, fun () -> ())
+
+let feed_of t =
+  match t.source with
+  | Producer { p_n; p_make; _ } ->
+    let produce = p_make () in
+    let left = ref p_n in
+    let next () =
+      if !left <= 0 then None
+      else begin
+        decr left;
+        Some (produce ())
+      end
+    in
+    (next, fun () -> ())
+  | Trace_src { t_trace; _ } ->
+    let len = Trace.length t_trace in
+    let i = ref 0 in
+    let next () =
+      if !i >= len then None
+      else begin
+        let e = Trace.get t_trace !i in
+        incr i;
+        Some e
+      end
+    in
+    (next, fun () -> ())
+  | File { f_path; _ } -> file_feed f_path
+  | Fd { d_name; d_fd } -> ndjson_feed ~name:d_name d_fd
+
+(* ---- folding --------------------------------------------------------- *)
+
+let dummy_entry = { Trace.addr = 0; write = false }
+
+let fold_chunks t ~init ~f =
+  let next, close = feed_of t in
+  Fun.protect ~finally:close (fun () ->
+      let cs = t.chunk_size in
+      let stream_name = name t in
+      let acc = ref init in
+      let index = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        (* the buffer grows geometrically toward [cs] so a whole-trace
+           chunk size never preallocates more than the stream holds *)
+        let buf = ref (Array.make (min cs 4096) dummy_entry) in
+        let len = ref 0 in
+        let full = ref false in
+        while not !full do
+          if !len >= cs then full := true
+          else
+            match next () with
+            | None ->
+              full := true;
+              stop := true
+            | Some e ->
+              if !len >= Array.length !buf then begin
+                let bigger =
+                  Array.make (min cs (2 * Array.length !buf)) dummy_entry
+                in
+                Array.blit !buf 0 bigger 0 !len;
+                buf := bigger
+              end;
+              (!buf).(!len) <- e;
+              incr len
+        done;
+        if !len > 0 then begin
+          Engine.Deadline.poll ~stage:"cachesim.stream";
+          let entries =
+            if !len = Array.length !buf then !buf else Array.sub !buf 0 !len
+          in
+          acc := f !acc ~index:!index entries;
+          Engine.Metrics.incr "stream.chunks";
+          Engine.Metrics.incr ~by:!len "stream.entries";
+          if Engine.Events.enabled () then
+            Engine.Events.emit
+              (Engine.Events.Chunk_done
+                 { stream = stream_name; index = !index; entries = !len });
+          incr index
+        end
+      done;
+      !acc)
+
+let slot_key ~skey ~salt index =
+  (* pseudo-task namespace "stream": no Sweep task carries that name,
+     so slots can never collide with sweep results in a shared journal *)
+  Printf.sprintf "stream\x00%s\x00%s:chunk:%d" skey salt index
+
+let resumable_fold ?(salt = "") t ~init ~f =
+  match (Engine.Checkpoint.active (), t.skey) with
+  | Some journal, Some skey ->
+    fold_chunks t ~init ~f:(fun acc ~index entries ->
+        let key = slot_key ~skey ~salt index in
+        match Engine.Checkpoint.lookup journal ~key with
+        | Some state -> state
+        | None ->
+          let state = f acc ~index entries in
+          Engine.Checkpoint.store journal ~key state;
+          state)
+  | _ -> fold_chunks t ~init ~f
+
+let iter t g =
+  fold_chunks t ~init:0 ~f:(fun n ~index:_ entries ->
+      Array.iter g entries;
+      n + Array.length entries)
+
+(* ---- drivers --------------------------------------------------------- *)
+
+let analyze t =
+  let a = Trace.analyzer () in
+  let (_ : int) = iter t (Trace.feed_analyzer a) in
+  Trace.analyzer_stats a
+
+(* Checkpoint salts must name every consumer-side input, so two
+   replays of one stream through different geometries never serve each
+   other's slots. *)
+let policy_salt = function
+  | Replacement.Random seed -> Printf.sprintf "random%d" seed
+  | p -> Replacement.name p
+
+let cache_salt c =
+  Printf.sprintf "%d:%d:%d:%s" (Cache.size_bytes c) (Cache.assoc c)
+    (Cache.block_bytes c)
+    (policy_salt (Cache.policy c))
+
+let replay t cache =
+  let salt = "replay:" ^ cache_salt cache in
+  resumable_fold ~salt t ~init:(cache, 0) ~f:(fun (c, n) ~index:_ entries ->
+      Array.iter
+        (fun (e : Trace.entry) -> ignore (Cache.access c e.addr ~write:e.write))
+        entries;
+      (c, n + Array.length entries))
+
+let replay_hierarchy t h =
+  let salt =
+    Printf.sprintf "hier:%s:%s" (cache_salt (Hierarchy.l1 h))
+      (cache_salt (Hierarchy.l2 h))
+  in
+  resumable_fold ~salt t ~init:(h, 0) ~f:(fun (h, n) ~index:_ entries ->
+      Array.iter
+        (fun (e : Trace.entry) ->
+          ignore (Hierarchy.access h e.addr ~write:e.write))
+        entries;
+      (h, n + Array.length entries))

@@ -40,27 +40,60 @@ type stats = {
   sequential_fraction : float;
 }
 
+let zero_stats =
+  {
+    accesses = 0;
+    writes = 0;
+    distinct_blocks = 0;
+    footprint_bytes = 0;
+    sequential_fraction = 0.0;
+  }
+
+(* Incremental form of [analyze], shared with the streaming engine:
+   memory is O(footprint) — the distinct-block set — never O(trace). *)
+type analyzer = {
+  blocks : (int, unit) Hashtbl.t;
+  mutable a_accesses : int;
+  mutable a_writes : int;
+  mutable a_sequential : int;
+  mutable a_prev : int;
+}
+
+let analyzer () =
+  {
+    blocks = Hashtbl.create 4096;
+    a_accesses = 0;
+    a_writes = 0;
+    a_sequential = 0;
+    a_prev = min_int;
+  }
+
+let feed_analyzer a e =
+  a.a_accesses <- a.a_accesses + 1;
+  if e.write then a.a_writes <- a.a_writes + 1;
+  Hashtbl.replace a.blocks (e.addr / 64) ();
+  if a.a_prev <> min_int && e.addr >= a.a_prev && e.addr <= a.a_prev + 64 then
+    a.a_sequential <- a.a_sequential + 1;
+  a.a_prev <- e.addr
+
+(* total, unlike [analyze]: an empty stream has a defined answer *)
+let analyzer_stats a =
+  if a.a_accesses = 0 then zero_stats
+  else
+    {
+      accesses = a.a_accesses;
+      writes = a.a_writes;
+      distinct_blocks = Hashtbl.length a.blocks;
+      footprint_bytes = 64 * Hashtbl.length a.blocks;
+      sequential_fraction =
+        float_of_int a.a_sequential /. float_of_int a.a_accesses;
+    }
+
 let analyze t =
   if Array.length t = 0 then invalid_arg "Trace.analyze: empty trace";
-  let blocks = Hashtbl.create 4096 in
-  let writes = ref 0 in
-  let sequential = ref 0 in
-  let prev = ref min_int in
-  Array.iter
-    (fun e ->
-      if e.write then incr writes;
-      Hashtbl.replace blocks (e.addr / 64) ();
-      if !prev <> min_int && e.addr >= !prev && e.addr <= !prev + 64 then incr sequential;
-      prev := e.addr)
-    t;
-  let n = Array.length t in
-  {
-    accesses = n;
-    writes = !writes;
-    distinct_blocks = Hashtbl.length blocks;
-    footprint_bytes = 64 * Hashtbl.length blocks;
-    sequential_fraction = float_of_int !sequential /. float_of_int n;
-  }
+  let a = analyzer () in
+  Array.iter (feed_analyzer a) t;
+  analyzer_stats a
 
 let pp_stats fmt s =
   Format.fprintf fmt

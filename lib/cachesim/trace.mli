@@ -45,4 +45,25 @@ val analyze : t -> stats
 (** Single pass summary.  Raises [Invalid_argument] on an empty
     trace. *)
 
+val zero_stats : stats
+(** The defined answer for an empty stream: all counters 0,
+    [sequential_fraction] 0.0.  {!Stream_trace.analyze} returns it
+    instead of raising like {!analyze}. *)
+
+(** {1 Incremental analysis}
+
+    The streaming engine computes {!stats} over traces that are never
+    materialised; the analyzer is the incremental form of {!analyze}
+    (O(footprint) memory — the distinct-block set — independent of
+    trace length).  [analyze] itself is one fold over it. *)
+
+type analyzer
+
+val analyzer : unit -> analyzer
+val feed_analyzer : analyzer -> entry -> unit
+
+val analyzer_stats : analyzer -> stats
+(** Summary of everything fed so far; {!zero_stats} when nothing was
+    (total, unlike {!analyze}). *)
+
 val pp_stats : Format.formatter -> stats -> unit

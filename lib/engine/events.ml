@@ -27,6 +27,11 @@ type event =
     }
   | Checkpoint_replayed of { dir : string; replayed : int }
   | Experiment_done of { id : string }
+  | Chunk_done of {
+      stream : string;  (* stream name *)
+      index : int;      (* chunk index, 0-based *)
+      entries : int;    (* entries in this chunk *)
+    }
 
 let to_json ~seq ev =
   (* each line is self-describing: an NDJSON stream has no envelope to
@@ -57,6 +62,13 @@ let to_json ~seq ev =
     base "checkpoint_replayed"
       [ ("dir", Json.String dir); ("replayed", Json.Int replayed) ]
   | Experiment_done { id } -> base "experiment_done" [ ("id", Json.String id) ]
+  | Chunk_done { stream; index; entries } ->
+    base "chunk_done"
+      [
+        ("stream", Json.String stream);
+        ("index", Json.Int index);
+        ("entries", Json.Int entries);
+      ]
 
 let render ev =
   match ev with
@@ -68,6 +80,8 @@ let render ev =
   | Checkpoint_replayed { dir; replayed } ->
     Printf.sprintf "checkpoint %s: replayed %d slot(s)" dir replayed
   | Experiment_done { id } -> Printf.sprintf "experiment %s: done" id
+  | Chunk_done { stream; index; entries } ->
+    Printf.sprintf "stream %s: chunk %d done (%d entries)" stream index entries
 
 (* ---- sink ------------------------------------------------------------ *)
 

@@ -26,6 +26,11 @@ type event =
     }
   | Checkpoint_replayed of { dir : string; replayed : int }
   | Experiment_done of { id : string }
+  | Chunk_done of {
+      stream : string;  (** stream name *)
+      index : int;  (** chunk index within the stream, 0-based *)
+      entries : int;  (** entries in this chunk *)
+    }  (** a streamed-trace chunk finished simulating *)
 
 val to_json : seq:int -> event -> Json.t
 (** One NDJSON line: [{"seq":N,"event":"<kind>",...}]. *)

@@ -52,6 +52,27 @@ val max_line_bytes : int
     with the caller's [overlong_response] — bounded memory whatever
     arrives on the wire. *)
 
+(** {1 Bounded-memory line reader}
+
+    The serve loop's hand-rolled reader over [Unix.read], exposed so
+    other NDJSON consumers (the streaming trace engine's
+    [--trace-stdin] source) share one reader with one memory bound:
+    EINTR surfaces (a signal can interrupt a blocking read), lines
+    longer than {!max_line_bytes} are discarded in bounded memory, and
+    CRLF input is tolerated. *)
+
+type reader
+
+val make_reader : Unix.file_descr -> reader
+
+type read_result =
+  | Line of string  (** one complete line, newline and any CR stripped *)
+  | Overlong        (** a line exceeded {!max_line_bytes}; it was discarded *)
+  | Eof
+  | Drained         (** a drain request interrupted the blocking read *)
+
+val read_line : reader -> read_result
+
 val request_drain : unit -> unit
 (** Ask every serve loop in the process to finish its in-flight batch
     and stop.  Idempotent, async-signal-safe. *)

@@ -13,6 +13,9 @@ module Stats = Nmcache_cachesim.Stats
 module Gen = Nmcache_workload.Gen
 module Access = Nmcache_workload.Access
 module Registry = Nmcache_workload.Registry
+module Trace = Nmcache_cachesim.Trace
+module Stream_trace = Nmcache_cachesim.Stream_trace
+module Wstream = Nmcache_workload.Stream
 module Context = Core.Context
 
 (* ------------------------------------------------------------------ *)
@@ -406,4 +409,127 @@ let profile ctx =
   in
   sized @ accounting
 
-let all ctx = scheme ctx @ mattson ctx @ fit ctx @ profile ctx
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: streamed vs materialised trace processing                 *)
+
+(* The streaming engine's whole contract is "chunking changes nothing":
+   every consumer fed through Stream_trace must produce results equal
+   to the same consumer over the materialised trace, at any chunk
+   size.  Probed chunk sizes straddle the interesting boundaries: a
+   degenerate-small chunk that never divides the trace evenly, and one
+   that does. *)
+let stream_chunk_sizes = [ 7; 4096 ]
+
+let stream ctx =
+  Check.group ~name:"oracle.stream" @@ fun () ->
+  let block = ctx.Context.block_bytes in
+  let n = mattson_trace_len ctx in
+  let entries_of workload =
+    Array.map
+      (fun (a : Access.t) -> { Trace.addr = a.Access.addr; write = a.Access.write })
+      (Gen.take (Registry.build ~seed:ctx.Context.seed workload) n)
+  in
+  let replay_stats trace_stream =
+    let c =
+      Cache.create ~size_bytes:(64 * block) ~assoc:4 ~block_bytes:block
+        ~policy:Replacement.Lru ()
+    in
+    let c, _ = Stream_trace.replay trace_stream c in
+    Cache.stats c
+  in
+  let equivalence =
+    List.concat_map
+      (fun workload ->
+        let entries = entries_of workload in
+        let trace = Trace.of_entries entries in
+        let ref_stats = Trace.analyze trace in
+        let ref_cache =
+          let c =
+            Cache.create ~size_bytes:(64 * block) ~assoc:4 ~block_bytes:block
+              ~policy:Replacement.Lru ()
+          in
+          Trace.replay trace c;
+          Cache.stats c
+        in
+        List.concat_map
+          (fun cs ->
+            let stream () = Stream_trace.of_trace ~chunk_size:cs ~name:workload trace in
+            [
+              Check.check
+                ~name:(Printf.sprintf "oracle.stream.analyze.%s.chunk%d" workload cs)
+                (Stream_trace.analyze (stream ()) = ref_stats)
+                (Printf.sprintf "streamed analyze equals materialised over %d accesses" n);
+              Check.check
+                ~name:(Printf.sprintf "oracle.stream.replay.%s.chunk%d" workload cs)
+                (replay_stats (stream ()) = ref_cache)
+                "streamed cache replay equals materialised";
+            ])
+          stream_chunk_sizes)
+      Registry.headline
+  in
+  let simulate_equiv =
+    (* the CLI-visible contract: --stream must not change a single bit
+       of the reported rates *)
+    let workload = List.hd Registry.headline in
+    let l1_size = 32 * 1024 and l2_size = 256 * 1024 in
+    let reference =
+      Missrate.simulate ~block ~seed:ctx.Context.seed ~workload ~l1_size ~l2_size ~n ()
+    in
+    List.map
+      (fun cs ->
+        let stream =
+          Wstream.of_workload ~chunk_size:cs ~seed:ctx.Context.seed ~workload ~n ()
+        in
+        let point = Missrate.simulate_stream ~block ~stream ~l1_size ~l2_size () in
+        Check.check
+          ~name:(Printf.sprintf "oracle.stream.simulate.%s.chunk%d" workload cs)
+          (point = reference)
+          (Printf.sprintf "streamed rates %.6f/%.6f/%.6f equal simulate's"
+             point.Missrate.l1_miss point.Missrate.l2_local point.Missrate.l2_global))
+      stream_chunk_sizes
+  in
+  let roundtrip =
+    let workload = List.hd Registry.headline in
+    let entries = entries_of workload in
+    let path = Filename.temp_file "ppcache-oracle" ".pptrc" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let i = ref 0 in
+        Stream_trace.write_file ~path ~name:workload ~chunk_size:1000
+          ~next:(fun () ->
+            let e = entries.(!i) in
+            incr i;
+            e)
+          ~n ();
+        let info = Stream_trace.file_info path in
+        let got = ref [] in
+        let got_n = Stream_trace.iter (Stream_trace.of_file ~chunk_size:777 path)
+            (fun e -> got := e :: !got)
+        in
+        let got = Array.of_list (List.rev !got) in
+        [
+          Check.check ~name:"oracle.stream.pptrc-roundtrip"
+            (got = entries && got_n = n)
+            (Printf.sprintf "%d entries decode bit-exactly" n);
+          Check.check ~name:"oracle.stream.pptrc-info"
+            (info.Stream_trace.fi_entries = n
+            && info.Stream_trace.fi_total = n
+            && not info.Stream_trace.fi_dropped_tail)
+            (Printf.sprintf "info: %d/%d entries in %d chunks, dropped_tail %b"
+               info.Stream_trace.fi_entries info.Stream_trace.fi_total
+               info.Stream_trace.fi_chunks info.Stream_trace.fi_dropped_tail);
+        ])
+  in
+  let empty =
+    [
+      Check.check ~name:"oracle.stream.empty-zero-stats"
+        (Stream_trace.analyze
+           (Stream_trace.of_trace ~name:"empty" (Trace.of_entries [||]))
+        = Trace.zero_stats)
+        "empty stream analyzes to the defined zero_stats";
+    ]
+  in
+  equivalence @ simulate_equiv @ roundtrip @ empty
+
+let all ctx = scheme ctx @ mattson ctx @ fit ctx @ profile ctx @ stream ctx

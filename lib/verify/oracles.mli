@@ -28,7 +28,13 @@
       legacy single-pass fold float-for-float, and an L1×L2 grid must
       cost exactly one measured traversal per (workload, L1 size) as
       counted by the [cachesim.mattson_curves] /
-      [cachesim.simulations] metrics.
+      [cachesim.simulations] metrics;
+    - {!stream}: the chunked streaming engine vs materialised traces —
+      for every headline workload and probed chunk size, streamed
+      analysis, cache replay and two-level simulation must equal the
+      materialised results bit for bit, a PPTRC01 recording must
+      round-trip entry-exactly (re-chunked on read), and an empty
+      stream must analyze to the defined zero statistics.
 
     All checks are deterministic for a fixed context (seeded traces,
     fixed grids) and independent of [--jobs]. *)
@@ -37,7 +43,8 @@ val scheme : Core.Context.t -> Check.t list
 val mattson : Core.Context.t -> Check.t list
 val fit : Core.Context.t -> Check.t list
 val profile : Core.Context.t -> Check.t list
+val stream : Core.Context.t -> Check.t list
 
 val all : Core.Context.t -> Check.t list
-(** The four oracles, each behind its own {!Check.group} fault
+(** The five oracles, each behind its own {!Check.group} fault
     boundary, in the order above. *)

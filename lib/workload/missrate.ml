@@ -90,6 +90,63 @@ let simulate ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64) ?(policy = Replacemen
             l2_global = Hierarchy.l2_global_miss_rate h;
           }))
 
+module Stream_trace = Nmcache_cachesim.Stream_trace
+module Trace = Nmcache_cachesim.Trace
+
+(* The streamed twin of [simulate]: identical access sequence,
+   identical warmup reset (statistics cleared exactly when the running
+   access count reaches the warmup boundary), so rates are bitwise
+   equal to [simulate]'s for a stream wrapping the same workload — at
+   any chunk size.  Chunk boundaries double as checkpoint slots
+   (Stream_trace.resumable_fold): the state is the hierarchy plus the
+   access count, and the salt names every consumer-side input, so a
+   SIGKILLed run resumes byte-identically.  Not memoised — the journal
+   is the cross-process cache. *)
+let simulate_stream ?(l1_assoc = 4) ?(l2_assoc = 8) ?(block = 64)
+    ?(policy = Replacement.Lru) ?(warmup = true) ~stream ~l1_size ~l2_size () =
+  let l1 =
+    Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block ~policy ()
+  in
+  let l2 =
+    Cache.create ~size_bytes:l2_size ~assoc:l2_assoc ~block_bytes:block ~policy ()
+  in
+  let h = Hierarchy.create ~l1 ~l2 in
+  let warm =
+    if not warmup then 0
+    else
+      match Stream_trace.declared_length stream with
+      | Some n -> int_of_float (warmup_fraction *. float_of_int n)
+      | None -> 0
+  in
+  let salt =
+    Printf.sprintf "simulate:%d:%d:%d:%d:%d:%s:%d" l1_size l2_size l1_assoc
+      l2_assoc block (policy_key policy) warm
+  in
+  let h, (_ : int) =
+    Stream_trace.resumable_fold ~salt stream ~init:(h, 0)
+      ~f:(fun (h, processed) ~index:_ entries ->
+        let p = ref processed in
+        Array.iter
+          (fun (e : Trace.entry) ->
+            if !p = warm then begin
+              Cache.reset_stats (Hierarchy.l1 h);
+              Cache.reset_stats (Hierarchy.l2 h)
+            end;
+            ignore (Hierarchy.access h e.Trace.addr ~write:e.Trace.write);
+            incr p)
+          entries;
+        (h, !p))
+  in
+  Nmcache_engine.Metrics.incr "cachesim.simulations";
+  Nmcache_engine.Metrics.incr "stream.simulations";
+  Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats (Hierarchy.l1 h));
+  Stats.flush_to_metrics ~prefix:"cachesim.l2" (Cache.stats (Hierarchy.l2 h));
+  {
+    l1_miss = Hierarchy.l1_miss_rate h;
+    l2_local = Hierarchy.l2_local_miss_rate h;
+    l2_global = Hierarchy.l2_global_miss_rate h;
+  }
+
 type l2_curve = {
   workload : string;
   l1_size : int;

@@ -37,6 +37,26 @@ val simulate :
     64 B blocks, LRU).  Raises [Invalid_argument] for unknown workloads
     or invalid cache shapes. *)
 
+val simulate_stream :
+  ?l1_assoc:int ->
+  ?l2_assoc:int ->
+  ?block:int ->
+  ?policy:Nmcache_cachesim.Replacement.t ->
+  ?warmup:bool ->
+  stream:Nmcache_cachesim.Stream_trace.t ->
+  l1_size:int ->
+  l2_size:int ->
+  unit ->
+  point
+(** {!simulate} over a chunked stream in O(chunk) memory: the access
+    sequence and the warmup reset (at [warmup_fraction] of the
+    stream's declared length — disable with [~warmup:false] for
+    recorded traces) are identical, so for a stream wrapping a registry
+    workload the rates are bitwise equal to {!simulate}'s at any chunk
+    size.  Chunk boundaries are checkpoint slots when a journal is
+    armed and the stream is keyed, so a killed run resumes
+    byte-identically.  Not memoised. *)
+
 type l2_curve = {
   workload : string;
   l1_size : int;

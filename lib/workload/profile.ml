@@ -43,6 +43,15 @@ let polled ~stage feed =
     if !count land 4095 = 0 then Deadline.poll ~stage;
     feed a
 
+(* drain the per-map probe-length counts accumulated over a traversal
+   into one registry histogram: bucket index is the probe length
+   (slots past the first; last bucket = 16+) *)
+let flush_probe_hist counts =
+  Array.iteri
+    (fun len count ->
+      Metrics.observe_n "cachesim.intmap.probe_len" (float_of_int len) ~count)
+    counts
+
 let cache : t Memo.t = Memo.create ~name:"workload.profiles" ()
 let clear_cache () = Memo.clear cache
 
@@ -98,16 +107,6 @@ let build ~workload ~kind ~block ~seed ~n =
           Mattson.set_measuring profiler true;
           Gen.iter gen (n - warm) feed;
           Metrics.incr "cachesim.mattson_curves";
-          (* drain the per-map probe-length counts accumulated over the
-             traversal into one registry histogram: bucket index is the
-             probe length (slots past the first; last bucket = 16+) *)
-          let flush_probe_hist counts =
-            Array.iteri
-              (fun len count ->
-                Metrics.observe_n "cachesim.intmap.probe_len" (float_of_int len)
-                  ~count)
-              counts
-          in
           flush_probe_hist (Mattson.drain_probe_hist profiler);
           let l1_miss_rate =
             match l1_opt with
@@ -143,6 +142,88 @@ let raw ?(block = 64) ?(seed = Registry.default_seed) ~workload ~n () =
 let l1_filtered ?(l1_assoc = 4) ?(block = 64) ?(seed = Registry.default_seed) ~workload
     ~l1_size ~n () =
   build ~workload ~kind:(L1_filtered { l1_size; l1_assoc }) ~block ~seed ~n
+
+module Stream_trace = Nmcache_cachesim.Stream_trace
+module Trace = Nmcache_cachesim.Trace
+
+(* The streamed twin of [build]: same profiler, same L1 filter, same
+   warmup discipline — measuring off until [warmup_fraction] of the
+   stream's declared length has been fed, then reset the filter's
+   statistics and measure the rest — so a stream wrapping a registry
+   workload yields a profile equal to [build]'s field for field.  Not
+   memoised (a stream is consumed, not named); deadline polling rides
+   the stream's own chunk boundaries. *)
+let of_stream ?(block = 64) ?(seed = Registry.default_seed) ~kind stream =
+  Span.with_span
+    ~attrs:
+      [
+        ("stream", Json.String (Stream_trace.name stream));
+        ( "kind",
+          Json.String
+            (match kind with Raw -> "raw" | L1_filtered _ -> "l1-filtered") );
+      ]
+    "profile:stream"
+    (fun () ->
+      let profiler = Mattson.create ~block_bytes:block () in
+      let l1_opt, feed =
+        match kind with
+        | Raw ->
+          (None, fun (e : Trace.entry) -> Mattson.access profiler e.Trace.addr)
+        | L1_filtered { l1_size; l1_assoc } ->
+          let l1 =
+            Cache.create ~size_bytes:l1_size ~assoc:l1_assoc ~block_bytes:block
+              ~policy:Replacement.Lru ()
+          in
+          ( Some l1,
+            fun (e : Trace.entry) ->
+              let o = Cache.access l1 e.Trace.addr ~write:e.Trace.write in
+              if not o.Cache.hit then Mattson.access profiler e.Trace.addr )
+      in
+      let warm =
+        match Stream_trace.declared_length stream with
+        | Some n -> int_of_float (warmup_fraction *. float_of_int n)
+        | None -> 0
+      in
+      Mattson.set_measuring profiler false;
+      let fed = ref 0 in
+      let n_fed =
+        Stream_trace.iter stream (fun e ->
+            if !fed = warm then begin
+              (match l1_opt with Some l1 -> Cache.reset_stats l1 | None -> ());
+              Mattson.set_measuring profiler true
+            end;
+            incr fed;
+            feed e)
+      in
+      Metrics.incr "cachesim.mattson_curves";
+      flush_probe_hist (Mattson.drain_probe_hist profiler);
+      let l1_miss_rate =
+        match l1_opt with
+        | Some l1 ->
+          flush_probe_hist (Cache.drain_probe_hist l1);
+          Stats.flush_to_metrics ~prefix:"cachesim.l1" (Cache.stats l1);
+          Stats.miss_rate (Cache.stats l1)
+        | None -> Float.nan
+      in
+      let dists, suffix = Mattson.cdf profiler in
+      let k = Array.length dists in
+      let counts =
+        Array.init k (fun i ->
+            if i + 1 < k then suffix.(i) - suffix.(i + 1) else suffix.(i))
+      in
+      {
+        workload = Stream_trace.name stream;
+        kind;
+        block;
+        seed;
+        n = n_fed;
+        accesses = Mattson.accesses profiler;
+        cold = Mattson.cold_misses profiler;
+        dists;
+        counts;
+        suffix;
+        l1_miss_rate;
+      })
 
 (* --- derivations: no trace traversal below this line ------------------- *)
 

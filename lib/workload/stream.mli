@@ -1,0 +1,21 @@
+(** Registry workloads as chunked streams.
+
+    The bridge between the generator library and
+    {!Nmcache_cachesim.Stream_trace}: a registered workload becomes a
+    restartable producer stream with a checkpoint key, so streamed
+    simulations of it are resumable and — by the stream engine's
+    contract — byte-identical to materialising the same [n] accesses
+    with {!Gen.take}. *)
+
+val of_workload :
+  ?chunk_size:int ->
+  ?seed:int64 ->
+  workload:string ->
+  n:int ->
+  unit ->
+  Nmcache_cachesim.Stream_trace.t
+(** [of_workload ~workload ~n ()]: the first [n] accesses of the
+    registered workload (defaults: registry seed,
+    {!Nmcache_cachesim.Stream_trace.default_chunk_size}).  The stream's
+    checkpoint key names workload, seed, [n] and chunk size.  Raises
+    [Invalid_argument] on an unknown workload or [n < 0]. *)

@@ -15,6 +15,14 @@ let () =
   | Some spec -> Test_serve.serve_child_main spec; exit 0
   | None -> ()
 
+(* Child mode for the kill-mid-chunk streaming chaos test: run a
+   checkpointed streamed simulation until SIGKILLed (or to
+   completion, on resume). *)
+let () =
+  match Sys.getenv_opt Test_stream.stream_child_env with
+  | Some spec -> Test_stream.stream_child_main spec; exit 0
+  | None -> ()
+
 let () =
   Alcotest.run "nmcache"
     [
@@ -35,6 +43,7 @@ let () =
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
+      ("stream", Test_stream.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("report", Test_report.suite);
