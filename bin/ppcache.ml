@@ -635,26 +635,41 @@ let simulate_cmd =
 
 (* --- trace ------------------------------------------------------------- *)
 
-let trace_record workload n out chunk seed =
-  if Registry.find workload = None then begin
-    Printf.eprintf "unknown workload %S; available: %s\n" workload
-      (String.concat ", " Registry.names);
-    exit 2
-  end;
-  if n < 0 then begin
-    Printf.eprintf "ppcache: --n must be >= 0, got %d\n" n;
-    exit 2
-  end;
+let trace_record workload n out chunk seed from_ndjson =
   require_positive "chunk" chunk;
   validate_out_path ~flag:"out" out;
-  usage_guard @@ fun () ->
-  let gen = Registry.build ~seed workload in
-  Stream_trace.write_file ~path:out ~name:workload ~chunk_size:chunk
-    ~next:(fun () ->
-      let a = Gen.next gen in
-      { Trace_rec.addr = a.Access.addr; write = a.Access.write })
-    ~n ();
-  Printf.printf "recorded %s: %d accesses to %s (chunk %d)\n" workload n out chunk
+  if from_ndjson then begin
+    (* external tracer → PPTRC01 converter: stdin NDJSON through the
+       bounded line reader, spooled in O(chunk) memory (the recording's
+       header needs the total, which a pipe only knows at EOF) *)
+    usage_guard @@ fun () ->
+    let stream =
+      Stream_trace.of_ndjson_fd ~chunk_size:chunk ~name:workload Unix.stdin
+    in
+    let total = Stream_trace.record_stream ~path:out stream in
+    Printf.printf "recorded stdin as %s: %d accesses to %s (chunk %d)\n"
+      workload total out chunk
+  end
+  else begin
+    if Registry.find workload = None then begin
+      Printf.eprintf "unknown workload %S; available: %s\n" workload
+        (String.concat ", " Registry.names);
+      exit 2
+    end;
+    if n < 0 then begin
+      Printf.eprintf "ppcache: --n must be >= 0, got %d\n" n;
+      exit 2
+    end;
+    usage_guard @@ fun () ->
+    let gen = Registry.build ~seed workload in
+    Stream_trace.write_file ~path:out ~name:workload ~chunk_size:chunk
+      ~next:(fun () ->
+        let a = Gen.next gen in
+        { Trace_rec.addr = a.Access.addr; write = a.Access.write })
+      ~n ();
+    Printf.printf "recorded %s: %d accesses to %s (chunk %d)\n" workload n out
+      chunk
+  end
 
 let trace_info file =
   usage_guard @@ fun () ->
@@ -696,13 +711,26 @@ let trace_record_cmd =
       value & opt int64 Registry.default_seed
       & info [ "seed" ] ~doc:"Generator seed.")
   in
+  let from_ndjson =
+    Arg.(
+      value & flag
+      & info [ "from-ndjson" ]
+          ~doc:
+            "Convert a piped NDJSON access stream (one \
+             {\"addr\":N,\"write\":bool} object per line on stdin, read \
+             through the bounded-memory line reader) into the recording, in \
+             O(chunk) memory.  --workload then only names the recording; \
+             --n and --seed are ignored.  A malformed or overlong line \
+             exits 2.")
+  in
   let doc =
-    "Record a workload to a compressed PPTRC01 trace file (delta-encoded, \
-     CRC-guarded per chunk) in O(chunk) memory, for later $(b,ppcache simulate \
-     --trace-file) replay."
+    "Record a workload — or, with $(b,--from-ndjson), a piped external trace \
+     — to a compressed PPTRC01 trace file (delta-encoded, CRC-guarded per \
+     chunk) in O(chunk) memory, for later $(b,ppcache simulate --trace-file) \
+     replay."
   in
   Cmd.v (Cmd.info "record" ~doc)
-    Term.(const trace_record $ workload $ n $ out $ chunk $ seed)
+    Term.(const trace_record $ workload $ n $ out $ chunk $ seed $ from_ndjson)
 
 let trace_info_cmd =
   let file =
@@ -725,14 +753,19 @@ module Verify = Nmcache_verify
 
 (* Section selection: positional names; no positionals means the
    always-on gates (oracles + anchors); golden is opt-in because it
-   reads snapshots from the working tree. *)
-let verify_sections = [ "oracles"; "anchors"; "golden" ]
+   reads snapshots from the working tree, chaos because it spawns
+   child processes. *)
+let verify_sections = [ "oracles"; "anchors"; "golden"; "chaos" ]
 
-let verify sections quick golden_dir update_golden report_json jobs checkpoint resume
-    retries deadline trace trace_json metrics_json faults_json metrics_prom events
-    progress =
+let verify sections quick golden_dir update_golden report_json seeds jobs checkpoint
+    resume retries deadline trace trace_json metrics_json faults_json metrics_prom
+    events progress =
   set_jobs jobs;
   set_resilience ~retries ~deadline;
+  if seeds < 1 then begin
+    Printf.eprintf "ppcache: --seeds must be >= 1, got %d\n" seeds;
+    exit 2
+  end;
   List.iter
     (fun s ->
       if not (List.mem s verify_sections) then begin
@@ -758,6 +791,8 @@ let verify sections quick golden_dir update_golden report_json jobs checkpoint r
           !checks
           @ Verify.Golden.run ~update:update_golden ~dir:golden_dir
               (Core.Context.quick ()) ();
+      if on "chaos" selected then
+        checks := !checks @ Verify.Chaos.campaign ~seeds ctx;
       print_string (Verify.Check.render !checks);
       Option.iter
         (fun path ->
@@ -776,8 +811,20 @@ let verify_cmd =
       & info [] ~docv:"SECTION"
           ~doc:
             "Sections to run: $(b,oracles) (differential oracles), $(b,anchors) \
-             (paper-anchor checks), $(b,golden) (snapshot byte-diffs).  Default: \
-             oracles anchors.")
+             (paper-anchor checks), $(b,golden) (snapshot byte-diffs), \
+             $(b,chaos) (seeded fault-injection campaign: SIGKILL children, torn \
+             stores, poisoned requests, concurrent clients).  Default: oracles \
+             anchors.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Chaos-campaign seeds to run (section $(b,chaos) only).  Seed $(i,s) \
+             drives scenario family $(i,s) mod 5; every scenario parameter \
+             derives from the seed, so a campaign is byte-identical across runs \
+             and at any $(b,--jobs).")
   in
   let golden_dir =
     Arg.(
@@ -811,7 +858,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const verify $ sections $ quick_arg $ golden_dir $ update_golden $ report_json
-      $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
+      $ seeds $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
       $ trace_arg $ trace_json_arg $ metrics_json_arg $ faults_json_arg
       $ metrics_prom_arg $ events_arg $ progress_arg)
 
@@ -874,14 +921,103 @@ let workloads_cmd =
   let doc = "List the synthetic workload generators." in
   Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads $ const ())
 
+(* --- store ------------------------------------------------------------ *)
+
+let store_open_or_exit dir =
+  let module S = Nmcache_engine.Store in
+  if not (Sys.file_exists (Filename.concat dir S.store_name)) then begin
+    Printf.eprintf "ppcache: no store at %s\n" dir;
+    exit 2
+  end;
+  try S.open_ ~dir
+  with Nmcache_engine.Lockfile.Locked { path; pid } ->
+    Printf.eprintf
+      "ppcache: store %s is locked by running pid %d (%s); stop the writer \
+       first\n"
+      dir pid path;
+    exit 2
+
+let store_info dir =
+  usage_guard @@ fun () ->
+  let module S = Nmcache_engine.Store in
+  let s = store_open_or_exit dir in
+  Fun.protect
+    ~finally:(fun () -> S.close s)
+    (fun () ->
+      Printf.printf "store: %s\n" (S.path s);
+      Printf.printf "segment: PPSTOR0%d\n" (S.segment_version s);
+      Printf.printf "live records: %d (%d bytes)\n" (S.entries s)
+        (S.live_bytes s);
+      Printf.printf "dead records: %d (%d bytes)\n" (S.dead_records s)
+        (S.dead_bytes s);
+      Printf.printf "file bytes: %d\n" (S.bytes s);
+      if S.dropped_tail s then print_endline "corrupt tail: dropped on open")
+
+let store_compact dir =
+  usage_guard @@ fun () ->
+  let module S = Nmcache_engine.Store in
+  let s = store_open_or_exit dir in
+  Fun.protect
+    ~finally:(fun () -> S.close s)
+    (fun () ->
+      let r = S.compact s in
+      Printf.printf
+        "compacted %s: %d live record(s) kept, %d dead record(s) reclaimed, \
+         %d -> %d bytes\n"
+        (S.path s) r.S.live r.S.reclaimed_records r.S.before_bytes
+        r.S.after_bytes)
+
+let store_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory (holding store.ppck).")
+
+let store_info_cmd =
+  let doc =
+    "Replay and summarise a store journal: segment version, live/dead record \
+     and byte counts (dead records are on-disk duplicates shadowed by an \
+     earlier first-write-wins record), and whether a corrupt tail was \
+     dropped.  A missing store exits 2; so does a store held by a live \
+     writer."
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const store_info $ store_dir_pos)
+
+let store_compact_cmd =
+  let doc =
+    "Rewrite the live records into a fresh PPSTOR02 segment, reclaiming dead \
+     bytes.  Crash-safe at any instruction: the new segment is written to \
+     store.ppck.tmp, fsynced, then atomically renamed over store.ppck — the \
+     old segment stays authoritative until that rename, and an interrupted \
+     tmp is discarded on the next open."
+  in
+  Cmd.v (Cmd.info "compact" ~doc) Term.(const store_compact $ store_dir_pos)
+
+let store_cmd =
+  let doc = "Inspect and compact persistent model store journals." in
+  Cmd.group (Cmd.info "store" ~doc) [ store_info_cmd; store_compact_cmd ]
+
 (* --- serve ----------------------------------------------------------- *)
 
-let serve store_dir socket queue quick jobs retries deadline trace trace_json
-    metrics_json faults_json metrics_prom events progress =
+let serve store_dir socket queue max_conns global_queue write_timeout
+    compact_ratio quick jobs retries deadline trace trace_json metrics_json
+    faults_json metrics_prom events progress =
   set_jobs jobs;
   set_resilience ~retries ~deadline;
   if queue < 1 then begin
     Printf.eprintf "ppcache: --queue must be >= 1\n";
+    exit 2
+  end;
+  if max_conns < 1 then begin
+    Printf.eprintf "ppcache: --max-conns must be >= 1\n";
+    exit 2
+  end;
+  if global_queue < 0 then begin
+    Printf.eprintf "ppcache: --global-queue must be >= 1 (0 = max-conns*queue)\n";
+    exit 2
+  end;
+  if not (compact_ratio > 0.) then begin
+    Printf.eprintf "ppcache: --compact-ratio must be > 0\n";
     exit 2
   end;
   usage_guard @@ fun () ->
@@ -903,6 +1039,20 @@ let serve store_dir socket queue quick jobs retries deadline trace trace_json
           dir pid path;
         exit 2)
   in
+  (* startup auto-compaction: when the dead fraction of the journal
+     exceeds --compact-ratio, rewrite it before serving *)
+  Option.iter
+    (fun s ->
+      let dead = S.dead_bytes s and live = S.live_bytes s in
+      let total = dead + live in
+      if total > 0 && float_of_int dead > compact_ratio *. float_of_int total
+      then begin
+        let r = S.compact s in
+        Printf.eprintf
+          "ppcache: store %s: compacted %d dead record(s), %d -> %d bytes\n%!"
+          (S.path s) r.S.reclaimed_records r.S.before_bytes r.S.after_bytes
+      end)
+    store;
   S.set_active store;
   Fun.protect
     ~finally:(fun () ->
@@ -929,9 +1079,12 @@ let serve store_dir socket queue quick jobs retries deadline trace trace_json
       let stats =
         match socket with
         | Some path ->
-          Server.serve_unix_socket ~queue ~pool ~handler
+          Server.serve_unix_socket ~queue ~max_conns
+            ?global_queue:(if global_queue = 0 then None else Some global_queue)
+            ~write_timeout ~pool ~handler
             ~crash_response:Core.Service.crash_response
-            ~overlong_response:Core.Service.overlong_response ~path ()
+            ~overlong_response:Core.Service.overlong_response
+            ~shed_response:Core.Service.shed_response ~path ()
         | None ->
           Server.serve ~queue ~pool ~handler
             ~crash_response:Core.Service.crash_response
@@ -954,8 +1107,8 @@ let serve_cmd =
   in
   let socket =
     let doc =
-      "Listen on a Unix domain socket at $(docv) (connections served one at \
-       a time) instead of reading stdin."
+      "Listen on a Unix domain socket at $(docv) (up to --max-conns \
+       connections served concurrently) instead of reading stdin."
     in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
@@ -967,6 +1120,37 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
   in
+  let max_conns =
+    let doc =
+      "Serve at most $(docv) socket connections concurrently; a connection \
+       accepted beyond the cap is shed with a single overloaded error line."
+    in
+    Arg.(value & opt int 4 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let global_queue =
+    let doc =
+      "Cap total in-flight request lines across all connections at $(docv); \
+       requests beyond the cap are answered with overloaded errors instead \
+       of buffered.  0 (the default) means --max-conns times --queue."
+    in
+    Arg.(value & opt int 0 & info [ "global-queue" ] ~docv:"N" ~doc)
+  in
+  let write_timeout =
+    let doc =
+      "Drop a socket connection whose client stalls reads for more than \
+       $(docv) seconds (SO_SNDTIMEO); only that connection is affected.  \
+       0 disables."
+    in
+    Arg.(value & opt float 10. & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let compact_ratio =
+    let doc =
+      "Compact the store at startup when dead (shadowed duplicate) bytes \
+       exceed $(docv) of the journal.  Crash-safe: the old segment stays \
+       authoritative until one atomic rename."
+    in
+    Arg.(value & opt float 0.5 & info [ "compact-ratio" ] ~docv:"R" ~doc)
+  in
   let doc =
     "Serve NDJSON design-space queries (optimize, miss_curve, amat, health) \
      from stdin or a Unix socket: one response line per request, structured \
@@ -976,7 +1160,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ store $ socket $ queue $ quick_arg $ jobs_arg $ retries_arg
+      const serve $ store $ socket $ queue $ max_conns $ global_queue
+      $ write_timeout $ compact_ratio $ quick_arg $ jobs_arg $ retries_arg
       $ deadline_arg $ trace_arg $ trace_json_arg $ metrics_json_arg
       $ faults_json_arg $ metrics_prom_arg $ events_arg $ progress_arg)
 
@@ -992,10 +1177,19 @@ let main =
       verify_cmd;
       bench_cmd;
       workloads_cmd;
+      store_cmd;
       serve_cmd;
     ]
 
 let () =
+  (* chaos-campaign children: the harness re-execs this binary with a
+     child spec in the environment (OCaml 5 forbids fork once a domain
+     exists), so dispatch before anything else — argv is ignored *)
+  (match Sys.getenv_opt Verify.Chaos.child_env with
+  | Some spec ->
+    Verify.Chaos.child_main spec;
+    exit 0
+  | None -> ());
   (* arm deterministic fault injection before any subcommand runs; a
      malformed spec is a usage error, not a silent no-op *)
   (match Nmcache_engine.Faultpoint.configure_from_env () with

@@ -537,3 +537,73 @@ let replay_hierarchy t h =
           ignore (Hierarchy.access h e.addr ~write:e.write))
         entries;
       (h, n + Array.length entries))
+
+(* --- recording a stream of unknown length ---------------------------- *)
+
+(* [write_file] needs [n] up front (the header declares the total), but
+   a piped NDJSON source only learns its length at EOF.  Spool the
+   encoded chunk records to a side file while counting, then assemble
+   magic + header(total) + spooled records and commit with an atomic
+   rename — O(chunk) memory, and no half-written file ever sits at
+   [path]. *)
+let record_stream ~path t =
+  let spool = path ^ ".spool" in
+  let cleanup f = try Sys.remove f with Sys_error _ -> () in
+  match
+    let oc = open_out_bin spool in
+    let total =
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let buf = Buffer.create (min (4 * chunk_size t) (1 lsl 22)) in
+          fold_chunks t ~init:0 ~f:(fun acc ~index:_ entries ->
+              Buffer.clear buf;
+              let prev = ref 0 in
+              Array.iter (fun e -> prev := encode_entry buf !prev e) entries;
+              let payload = Buffer.contents buf in
+              write_u32 oc (Array.length entries);
+              write_u32 oc (String.length payload);
+              output_string oc payload;
+              write_u32 oc (crc_to_u32 (Engine.Checkpoint.crc32 payload));
+              acc + Array.length entries))
+    in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        let hdr =
+          Engine.Json.to_string
+            (Engine.Json.Obj
+               [
+                 ("name", Engine.Json.String (name t));
+                 ("total", Engine.Json.Int total);
+                 ("chunk", Engine.Json.Int (chunk_size t));
+               ])
+        in
+        write_u32 oc (String.length hdr);
+        output_string oc hdr;
+        write_u32 oc (crc_to_u32 (Engine.Checkpoint.crc32 hdr));
+        let ic = open_in_bin spool in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let block = Bytes.create 65536 in
+            let rec copy () =
+              let n = input ic block 0 (Bytes.length block) in
+              if n > 0 then begin
+                output oc block 0 n;
+                copy ()
+              end
+            in
+            copy ()));
+    Sys.rename tmp path;
+    cleanup spool;
+    total
+  with
+  | total -> total
+  | exception e ->
+    cleanup spool;
+    cleanup (path ^ ".tmp");
+    raise e

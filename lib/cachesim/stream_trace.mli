@@ -164,6 +164,17 @@ val write_file :
     (readers re-chunk freely).  Raises [Invalid_argument] if [n < 0]
     or [chunk_size < 1]. *)
 
+val record_stream : path:string -> t -> int
+(** Record a stream of {e unknown} length (a piped NDJSON source) to a
+    [PPTRC01] file, returning the entry count.  The encoded chunk
+    records are spooled to [path ^ ".spool"] while counting, then the
+    final file (whose header declares the counted total) is assembled
+    and committed with an atomic rename — O(chunk) memory, and no
+    partial file is ever visible at [path].  On-disk chunking is the
+    stream's {!chunk_size}.  Raises like the stream's fold (e.g.
+    [Invalid_argument] on a malformed NDJSON line), cleaning up its
+    temporary files. *)
+
 type file_info = {
   fi_name : string;  (** workload name from the header *)
   fi_total : int;  (** entries the header declares *)

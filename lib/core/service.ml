@@ -244,6 +244,16 @@ let overlong_response () =
         Printf.sprintf "request line exceeds %d bytes" Server.max_line_bytes;
     }
 
+let shed_response () =
+  (* load shedding: connection cap or global queue exhausted — an
+     explicit, deterministic refusal instead of unbounded buffering *)
+  error_line ~id:Json.Null
+    {
+      e_kind = "overloaded";
+      e_stage = "serve.admission";
+      e_detail = "server at capacity; retry later";
+    }
+
 (* --- request parsing ------------------------------------------------- *)
 
 let str_field j name =
@@ -607,6 +617,18 @@ let health_json t =
             ("errors", Json.Int err);
             ("degraded", Json.Int deg);
           ] );
+      ( "connections",
+        Json.Obj
+          [
+            ( "active",
+              Json.Int
+                (int_of_float
+                   (Option.value ~default:0.
+                      (Metrics.gauge_value "serve.active_connections"))) );
+            ("shed_requests", Json.Int (Metrics.counter_value "serve.shed"));
+            ("shed_conns", Json.Int (Metrics.counter_value "serve.shed_conns"));
+            ("dropped", Json.Int (Metrics.counter_value "serve.conn_dropped"));
+          ] );
       ( "store",
         match t.store with
         | None -> Json.Null
@@ -619,6 +641,10 @@ let health_json t =
               ("replayed", Json.Int (Store.replayed s));
               ("appended", Json.Int (Store.appended s));
               ("served", Json.Int (Store.served s));
+              ("segment_version", Json.Int (Store.segment_version s));
+              ("live_bytes", Json.Int (Store.live_bytes s));
+              ("dead_records", Json.Int (Store.dead_records s));
+              ("dead_bytes", Json.Int (Store.dead_bytes s));
             ] );
       ( "breakers",
         Json.List

@@ -102,6 +102,12 @@ val overlong_response : unit -> string
     {!Nmcache_engine.Server.max_line_bytes} ([overloaded] /
     [serve.admission]). *)
 
+val shed_response : unit -> string
+(** Response for a request or connection refused by load shedding —
+    the socket server at its connection cap or global queue bound
+    ([overloaded] / [serve.admission]).  Deterministic: no counts,
+    no timestamps. *)
+
 val redact : Nmcache_engine.Fault.t -> Nmcache_engine.Fault.t
 (** [Crashed] details are reduced to the exception constructor token
     (everything before the first '(', space, quote or '/'): typed

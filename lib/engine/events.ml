@@ -32,6 +32,9 @@ type event =
       index : int;      (* chunk index, 0-based *)
       entries : int;    (* entries in this chunk *)
     }
+  | Conn_opened of { id : int }
+  | Conn_closed of { id : int; requests : int }
+  | Conn_shed of { id : int }
 
 let to_json ~seq ev =
   (* each line is self-describing: an NDJSON stream has no envelope to
@@ -69,6 +72,10 @@ let to_json ~seq ev =
         ("index", Json.Int index);
         ("entries", Json.Int entries);
       ]
+  | Conn_opened { id } -> base "conn_opened" [ ("id", Json.Int id) ]
+  | Conn_closed { id; requests } ->
+    base "conn_closed" [ ("id", Json.Int id); ("requests", Json.Int requests) ]
+  | Conn_shed { id } -> base "conn_shed" [ ("id", Json.Int id) ]
 
 let render ev =
   match ev with
@@ -82,6 +89,10 @@ let render ev =
   | Experiment_done { id } -> Printf.sprintf "experiment %s: done" id
   | Chunk_done { stream; index; entries } ->
     Printf.sprintf "stream %s: chunk %d done (%d entries)" stream index entries
+  | Conn_opened { id } -> Printf.sprintf "conn %d: opened" id
+  | Conn_closed { id; requests } ->
+    Printf.sprintf "conn %d: closed (%d requests)" id requests
+  | Conn_shed { id } -> Printf.sprintf "conn %d: shed (at capacity)" id
 
 (* ---- sink ------------------------------------------------------------ *)
 

@@ -31,6 +31,13 @@ type event =
       index : int;  (** chunk index within the stream, 0-based *)
       entries : int;  (** entries in this chunk *)
     }  (** a streamed-trace chunk finished simulating *)
+  | Conn_opened of { id : int }
+      (** a socket connection was accepted (id is the accept serial) *)
+  | Conn_closed of { id : int; requests : int }
+      (** a socket connection ended, having served [requests] lines *)
+  | Conn_shed of { id : int }
+      (** a connection was refused at the concurrency cap: one
+          [overloaded] line, then close *)
 
 val to_json : seq:int -> event -> Json.t
 (** One NDJSON line: [{"seq":N,"event":"<kind>",...}]. *)

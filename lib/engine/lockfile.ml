@@ -4,7 +4,16 @@
    Creation is atomic; stale detection is [kill pid 0].  We never
    [flock]: the journals these locks guard live on ordinary local
    filesystems, and the PID protocol additionally survives readers
-   that just want to *inspect* who holds the lock. *)
+   that just want to *inspect* who holds the lock.
+
+   Stale locks are broken by *renaming* them to a per-breaker tombstone
+   rather than unlinking in place.  Unlinking is a TOCTOU: two
+   processes that both observe the same dead-PID lock can both remove
+   "the" lock file — except the second removal may hit the fresh lock
+   the first process just created, and then both believe they hold the
+   directory.  rename(2) is atomic, so of N racing breakers exactly one
+   moves the stale file aside; the losers see ENOENT and retry against
+   whatever lock exists next. *)
 
 exception Locked of { path : string; pid : int }
 
@@ -45,6 +54,40 @@ let try_create lock_path =
     true
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
 
+(* Test seam: runs after a stale (dead-PID) lock has been observed but
+   before the tombstone rename — exactly the TOCTOU window.  The
+   two-process regression test stalls here so both children observe the
+   same stale lock before either breaks it. *)
+let stale_break_hook : (unit -> unit) ref = ref (fun () -> ())
+let break_serial = ref 0
+
+(* Break a stale lock.  Atomic rename to a tombstone unique to this
+   breaker; only the rename winner proceeds (losers hit ENOENT).  The
+   winner re-validates the tombstone's PID: if a *live* lock slipped in
+   between our staleness probe and the rename, we stole it — hand it
+   back and report Locked.  (The hand-back rename has a residual
+   three-breaker window, which the bounded retry absorbs: the displaced
+   owner still holds the directory in its own eyes only if its PID file
+   is back in place.) *)
+let break_stale lock_path =
+  !stale_break_hook ();
+  incr break_serial;
+  let tomb = Printf.sprintf "%s.break.%d.%d" lock_path (Unix.getpid ()) !break_serial in
+  match Unix.rename lock_path tomb with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    (* another breaker won the rename; retry against the next state *)
+    ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | () -> (
+    match holder_pid ~path:tomb with
+    | Some pid when pid_alive pid ->
+      (* we renamed a freshly-created live lock: restore it *)
+      (try Unix.rename tomb lock_path with Unix.Unix_error (_, _, _) -> ());
+      raise (Locked { path = lock_path; pid })
+    | Some _ | None ->
+      Metrics.incr "lock.stale_broken";
+      (try Sys.remove tomb with Sys_error _ -> ()))
+
 let acquire ~path:lock_path =
   (* bounded retry: each loop either creates the file, raises Locked on
      a live owner, or breaks one stale lock.  Two iterations suffice in
@@ -61,9 +104,8 @@ let acquire ~path:lock_path =
       (match holder_pid ~path:lock_path with
       | Some pid when pid_alive pid -> raise (Locked { path = lock_path; pid })
       | Some _ | None ->
-        (* dead owner or unreadable junk: break the lock and retry *)
-        Metrics.incr "lock.stale_broken";
-        (try Sys.remove lock_path with Sys_error _ -> ()));
+        (* dead owner or unreadable junk: tombstone it and retry *)
+        break_stale lock_path);
       go (attempts - 1)
     end
   in

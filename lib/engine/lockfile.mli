@@ -11,9 +11,19 @@
 
     Stale locks are self-healing: a SIGKILLed owner leaves its lock
     file behind, but its PID is dead, so the next {!acquire} detects
-    the stale owner ([kill pid 0] raising [ESRCH]), removes the file
-    and retries.  A PID that is merely unverifiable (permission errors)
-    is treated as live — false "locked" beats false "stale". *)
+    the stale owner ([kill pid 0] raising [ESRCH]), breaks the lock and
+    retries.  A PID that is merely unverifiable (permission errors) is
+    treated as live — false "locked" beats false "stale".
+
+    Breaking is rename-based, not unlink-based: the breaker atomically
+    renames the stale file to a tombstone unique to itself, so of N
+    processes racing to break the same dead lock exactly one wins (the
+    others' renames fail with [ENOENT] and retry against whatever lock
+    exists next).  The winner re-validates the tombstoned PID before
+    discarding it; a live lock that slipped into the window is handed
+    back and reported as {!Locked}.  The naive unlink protocol is a
+    double-acquire TOCTOU: the second breaker's [unlink] can hit the
+    first breaker's fresh lock. *)
 
 exception Locked of { path : string; pid : int }
 (** The lock at [path] is held by a live process [pid]. *)
@@ -37,3 +47,8 @@ val path : t -> string
 val holder_pid : path:string -> int option
 (** The PID recorded in the lock file at [path], if it exists and
     parses — exposed for tests and diagnostics. *)
+
+val stale_break_hook : (unit -> unit) ref
+(** Test seam: called after a stale lock has been observed, before the
+    tombstone rename — the TOCTOU window.  The two-process regression
+    test stalls here; production leaves the default no-op. *)

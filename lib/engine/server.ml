@@ -21,12 +21,40 @@ let install_drain_signals () =
 let inflight_count = Atomic.make 0
 let inflight () = Atomic.get inflight_count
 
+(* --- global admission limiter ---------------------------------------- *)
+
+(* Bounds the total in-flight requests across every connection of a
+   server.  [reserve] grants as many of [want] slots as remain (CAS
+   loop — connection threads race on it); requests beyond the grant are
+   answered with the caller's shed response instead of buffered. *)
+
+type limiter = { capacity : int; inflight_slots : int Atomic.t }
+
+let make_limiter ~capacity =
+  if capacity < 1 then invalid_arg "Server.make_limiter: capacity < 1";
+  { capacity; inflight_slots = Atomic.make 0 }
+
+let reserve l want =
+  let rec go () =
+    let cur = Atomic.get l.inflight_slots in
+    let grant = max 0 (min want (l.capacity - cur)) in
+    if grant = 0 then 0
+    else if Atomic.compare_and_set l.inflight_slots cur (cur + grant) then grant
+    else go ()
+  in
+  go ()
+
+let release l n = ignore (Atomic.fetch_and_add l.inflight_slots (-n))
+
 (* --- buffered line reader ------------------------------------------- *)
 
 (* A hand-rolled reader over Unix.read rather than an in_channel: we
    need EINTR to surface (a SIGTERM must be able to interrupt a
    blocking read so drain never hangs on a silent pipe) and we need to
-   discard overlong lines in bounded memory. *)
+   discard overlong lines in bounded memory.  EAGAIN/EWOULDBLOCK (a
+   socket with SO_RCVTIMEO, set so connection threads re-check the
+   drain flag periodically) is treated as "no bytes yet": check drain,
+   then retry. *)
 
 type reader = {
   fd : Unix.file_descr;
@@ -66,6 +94,8 @@ let refill r =
       r.len <- n;
       true
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if drain_requested () then false else go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       if drain_requested () then false else go ()
   in
   go ()
@@ -135,7 +165,8 @@ let input_pending r =
 
 type item = Req of string | Too_long
 
-let serve ?(queue = 64) ~pool ~handler ~crash_response ~overlong_response ~input
+let serve ?(queue = 64) ?limiter ?(shed_response = fun () -> "")
+    ?dispatch_lock ~pool ~handler ~crash_response ~overlong_response ~input
     ~output () =
   if queue < 1 then invalid_arg "Server.serve: queue < 1";
   let r = make_reader input in
@@ -143,6 +174,9 @@ let serve ?(queue = 64) ~pool ~handler ~crash_response ~overlong_response ~input
   let responses = ref 0 in
   let drained = ref false in
   let stop = ref false in
+  let locked f =
+    match dispatch_lock with None -> f () | Some m -> Mutex.protect m f
+  in
   while not !stop do
     (* gather up to [queue] request lines — the bounded in-flight
        window.  Batch size never depends on the pool width. *)
@@ -183,28 +217,44 @@ let serve ?(queue = 64) ~pool ~handler ~crash_response ~overlong_response ~input
     if Array.length items > 0 then begin
       requests := !requests + Array.length items;
       Metrics.incr ~by:(Array.length items) "serve.requests";
-      Atomic.set inflight_count (Array.length items);
-      (* fault boundary per request: a handler that raises yields an
-         Error slot, everything else still completes *)
-      let results =
-        Pool.map_array_result pool
-          (fun item ->
-            match item with
-            | Too_long -> (overlong_response (), fun () -> ())
-            | Req line -> handler ~line)
-          items
+      (* global admission: items beyond the grant are shed, never
+         buffered.  Without a limiter everything is granted. *)
+      let granted =
+        match limiter with
+        | None -> Array.length items
+        | Some l -> reserve l (Array.length items)
       in
-      Atomic.set inflight_count 0;
+      let work = Array.sub items 0 granted in
+      ignore (Atomic.fetch_and_add inflight_count granted);
+      (* fault boundary per request: a handler that raises yields an
+         Error slot, everything else still completes.  The dispatch
+         lock (socket mode) serializes pool fan-outs across connection
+         threads — the pool is one domain set, not per-connection. *)
+      let results =
+        locked (fun () ->
+            Pool.map_array_result pool
+              (fun item ->
+                match item with
+                | Too_long -> (overlong_response (), fun () -> ())
+                | Req line -> handler ~line)
+              work)
+      in
+      ignore (Atomic.fetch_and_add inflight_count (-granted));
+      (match limiter with None -> () | Some l -> release l granted);
+      let shed = Array.length items - granted in
+      if shed > 0 then Metrics.incr ~by:shed "serve.shed";
       (* settle + respond in request order: the deterministic seam *)
       Array.iteri
-        (fun i result ->
+        (fun i item ->
           let line, settle =
-            match result with
-            | Ok pair -> pair
-            | Error exn ->
-              let fault = Fault.of_exn ~stage:"serve.request" exn in
-              let raw = match items.(i) with Req l -> l | Too_long -> "" in
-              (crash_response ~line:raw fault, fun () -> ())
+            if i < granted then
+              match results.(i) with
+              | Ok pair -> pair
+              | Error exn ->
+                let fault = Fault.of_exn ~stage:"serve.request" exn in
+                let raw = match item with Req l -> l | Too_long -> "" in
+                (crash_response ~line:raw fault, fun () -> ())
+            else (shed_response (), fun () -> ())
           in
           settle ();
           output_string output line;
@@ -215,13 +265,42 @@ let serve ?(queue = 64) ~pool ~handler ~crash_response ~overlong_response ~input
           flush output;
           incr responses;
           Metrics.incr "serve.responses")
-        results
+        items
     end
   done;
   { requests = !requests; responses = !responses; drained = !drained }
 
-let serve_unix_socket ?queue ~pool ~handler ~crash_response ~overlong_response
-    ~path () =
+(* --- the concurrent Unix-socket front end ----------------------------- *)
+
+(* One thread per accepted connection, up to [max_conns]; a connection
+   beyond the cap is shed with a single overloaded line.  Each thread
+   runs the same [serve] loop over its own bounded reader and queue, so
+   per-connection response streams keep the solo-run byte-identity
+   contract; the shared [dispatch_lock] serializes pool fan-outs (the
+   domain pool is process-wide, and its in-worker marker is
+   domain-local, not thread-local), and the shared [limiter] bounds
+   total in-flight lines.
+
+   Drain never hangs: the accept loop polls with a short select
+   timeout, and every client socket carries SO_RCVTIMEO so a thread
+   blocked in read re-checks the drain flag periodically (the EAGAIN
+   path in [refill]). *)
+
+let conn_poll_interval = 0.25
+
+let serve_unix_socket ?(queue = 64) ?(max_conns = 4) ?global_queue
+    ?(write_timeout = 10.) ~pool ~handler ~crash_response ~overlong_response
+    ~shed_response ~path () =
+  if max_conns < 1 then invalid_arg "Server.serve_unix_socket: max_conns < 1";
+  let global_queue =
+    match global_queue with
+    | Some g ->
+      if g < 1 then invalid_arg "Server.serve_unix_socket: global_queue < 1";
+      g
+    | None -> max_conns * queue
+  in
+  let limiter = make_limiter ~capacity:global_queue in
+  let dispatch_lock = Mutex.create () in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -230,32 +309,84 @@ let serve_unix_socket ?queue ~pool ~handler ~crash_response ~overlong_response
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
+      Unix.listen sock (max_conns + 8);
+      let agg = Mutex.create () in
       let requests = ref 0 in
       let responses = ref 0 in
       let drained = ref false in
+      let threads = ref [] in
+      let active = Atomic.make 0 in
+      let serial = ref 0 in
+      let set_conn_gauge () =
+        Metrics.set_gauge "serve.active_connections" (float_of_int (Atomic.get active))
+      in
+      let handle_conn ~id client =
+        (* read timeout: drain responsiveness (see module comment);
+           write timeout: a stalled client drops only its own
+           connection, not the server *)
+        (try Unix.setsockopt_float client Unix.SO_RCVTIMEO conn_poll_interval
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        if write_timeout > 0. then
+          (try Unix.setsockopt_float client Unix.SO_SNDTIMEO write_timeout
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let output = Unix.out_channel_of_descr client in
+        let served_requests = ref 0 in
+        (match
+           serve ~queue ~limiter ~shed_response ~dispatch_lock ~pool ~handler
+             ~crash_response ~overlong_response ~input:client ~output ()
+         with
+        | s ->
+          served_requests := s.requests;
+          Mutex.protect agg (fun () ->
+              requests := !requests + s.requests;
+              responses := !responses + s.responses;
+              if s.drained then drained := true)
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+          (* slow or vanished client (SO_SNDTIMEO expiry, EPIPE,
+             ECONNRESET): drop this connection only *)
+          Metrics.incr "serve.conn_dropped");
+        (try close_out output with Sys_error _ -> ());
+        ignore (Atomic.fetch_and_add active (-1));
+        set_conn_gauge ();
+        if Events.enabled () then
+          Events.emit (Events.Conn_closed { id; requests = !served_requests })
+      in
       let stop = ref false in
       while not !stop do
-        match Unix.accept sock with
-        | client, _ ->
-          let output = Unix.out_channel_of_descr client in
-          let s =
-            Fun.protect
-              ~finally:(fun () -> try close_out output with Sys_error _ -> ())
-              (fun () ->
-                serve ?queue ~pool ~handler ~crash_response ~overlong_response
-                  ~input:client ~output ())
-          in
-          requests := !requests + s.requests;
-          responses := !responses + s.responses;
-          if s.drained || drain_requested () then begin
-            drained := s.drained || !drained;
-            stop := true
-          end
-        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-          if drain_requested () then begin
-            drained := true;
-            stop := true
-          end
+        if drain_requested () then begin
+          drained := true;
+          stop := true
+        end
+        else
+          match Unix.select [ sock ] [] [] conn_poll_interval with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.accept sock with
+            | client, _ ->
+              incr serial;
+              let id = !serial in
+              if Atomic.get active >= max_conns then begin
+                (* at capacity: one overloaded line, then close *)
+                Metrics.incr "serve.shed_conns";
+                if Events.enabled () then Events.emit (Events.Conn_shed { id });
+                let oc = Unix.out_channel_of_descr client in
+                (try
+                   output_string oc (shed_response ());
+                   output_char oc '\n';
+                   flush oc
+                 with Sys_error _ -> ());
+                try close_out oc with Sys_error _ -> ()
+              end
+              else begin
+                ignore (Atomic.fetch_and_add active 1);
+                set_conn_gauge ();
+                if Events.enabled () then Events.emit (Events.Conn_opened { id });
+                let th = Thread.create (fun () -> handle_conn ~id client) () in
+                threads := th :: !threads
+              end
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
-      { requests = !requests; responses = !responses; drained = !drained })
+      List.iter Thread.join !threads;
+      let drained = !drained || drain_requested () in
+      { requests = !requests; responses = !responses; drained })

@@ -84,11 +84,27 @@ val install_drain_signals : unit -> unit
 (** Route SIGTERM and SIGINT to {!request_drain}. *)
 
 val inflight : unit -> int
-(** Requests in the batch currently being processed — the health
-    query's in-flight gauge. *)
+(** Requests in the batches currently being processed, across every
+    connection — the health query's in-flight gauge. *)
+
+(** {1 Global admission limiter}
+
+    Bounds the total in-flight request lines across every connection of
+    a socket server.  Reservation grants as many slots as remain;
+    requests beyond the grant are answered with the shed response
+    instead of being buffered — overload produces explicit
+    [overloaded] errors, never unbounded memory. *)
+
+type limiter
+
+val make_limiter : capacity:int -> limiter
+(** [capacity] must be >= 1. *)
 
 val serve :
   ?queue:int ->
+  ?limiter:limiter ->
+  ?shed_response:(unit -> string) ->
+  ?dispatch_lock:Mutex.t ->
   pool:Pool.t ->
   handler:handler ->
   crash_response:(line:string -> Fault.t -> string) ->
@@ -100,18 +116,48 @@ val serve :
 (** Run the loop until EOF or drain.  [queue] (default 64, must be
     >= 1) bounds both the read-ahead and the per-batch fan-out; it is
     independent of the pool width, so batch boundaries — and
-    everything settled at them — do not depend on [--jobs].  Counters:
-    [serve.requests], [serve.responses], [serve.overlong]. *)
+    everything settled at them — do not depend on [--jobs].
+
+    [limiter], when given, is the shared global admission bound:
+    request lines beyond the grant are answered with [shed_response]
+    (counted under [serve.shed]) in request order, so the response
+    stream stays line-for-line even under shed.  [dispatch_lock], when
+    given, is held around each pool fan-out — connection threads share
+    one domain pool, whose in-worker marker is domain-local, so
+    concurrent fan-outs must be serialized.  Solo runs (no limiter, or
+    a limiter with capacity >= queue and no competing connections)
+    never shed, which is what keeps per-connection streams
+    byte-identical to solo runs.  Counters: [serve.requests],
+    [serve.responses], [serve.overlong], [serve.shed]. *)
 
 val serve_unix_socket :
   ?queue:int ->
+  ?max_conns:int ->
+  ?global_queue:int ->
+  ?write_timeout:float ->
   pool:Pool.t ->
   handler:handler ->
   crash_response:(line:string -> Fault.t -> string) ->
   overlong_response:(unit -> string) ->
+  shed_response:(unit -> string) ->
   path:string ->
   unit ->
   stats
 (** Listen on a Unix domain socket at [path] (replacing any stale
-    socket file) and serve connections one at a time with {!serve},
-    until a drain is requested.  Aggregated stats. *)
+    socket file) and serve up to [max_conns] (default 4, >= 1)
+    connections {e concurrently} — one thread per connection, each
+    running {!serve} over its own bounded reader and queue — until a
+    drain is requested.  A connection accepted at capacity is shed:
+    one [shed_response] line, then close (counted under
+    [serve.shed_conns], evented as [conn_shed]).  [global_queue]
+    (default [max_conns * queue]) caps total in-flight lines across
+    connections via the shared limiter.  [write_timeout] (default 10 s;
+    [<= 0.] disables) arms SO_SNDTIMEO on each client socket so a
+    stalled reader drops only its own connection (counted under
+    [serve.conn_dropped]); every client also carries a short
+    SO_RCVTIMEO so blocked reads re-check the drain flag — a SIGTERM
+    drains even with idle connections open.  Per-connection response
+    streams are byte-identical to a solo run of the same request lines
+    (the settle seam stays ordered within a connection); the gauge
+    [serve.active_connections] and [conn_opened]/[conn_closed] events
+    track the connection lifecycle.  Aggregated stats. *)

@@ -9,9 +9,15 @@
     truncated or CRC-mismatching one, the file is truncated back to the
     last good record, and the lost tail is simply recomputed by later
     queries — a SIGKILL mid-append can at worst lose the record being
-    written.  A {!Lockfile} on [store.ppck.lock] enforces one writer
-    per directory (stale locks from dead owners are broken
-    automatically).
+    written.  Replay is first-write-wins, mirroring {!add}: a duplicate
+    key on disk is a *dead* record that can never be served.  Dead
+    records and bytes are counted at replay and reclaimed by
+    {!compact}, which rewrites the live records into a fresh
+    [PPSTOR02] segment via tmp+rename — the old segment stays
+    authoritative until the single atomic rename, so a SIGKILL at any
+    instruction of compaction loses nothing.  A {!Lockfile} on
+    [store.ppck.lock] enforces one writer per directory (stale locks
+    from dead owners are broken automatically).
 
     [ppcache serve] arms one store process-wide ({!set_active}) and
     keys everything by {!Core.Context.fingerprint}-derived strings:
@@ -71,6 +77,46 @@ val path : t -> string
 val bytes : t -> int
 (** Current on-disk size of the journal file in bytes. *)
 
+val segment_version : t -> int
+(** 1 for a [PPSTOR01] append-grown journal, 2 for a [PPSTOR02]
+    compacted segment (both append-able; {!compact} moves to 2). *)
+
+val live_bytes : t -> int
+(** Record bytes (excluding the 8-byte magic) of live records — the
+    size a compacted segment's body would have. *)
+
+val dead_records : t -> int
+(** On-disk records shadowed by an earlier write of the same key:
+    unreachable under first-write-wins, reclaimable by {!compact}. *)
+
+val dead_bytes : t -> int
+(** Record bytes occupied by dead records. *)
+
+(* -- compaction ------------------------------------------------------ *)
+
+type compact_stats = {
+  live : int;  (** records written to the new segment *)
+  reclaimed_records : int;  (** dead records dropped *)
+  reclaimed_bytes : int;  (** dead record bytes dropped *)
+  before_bytes : int;  (** on-disk size before *)
+  after_bytes : int;  (** on-disk size after *)
+}
+
+val compact : ?on_step:(int -> unit) -> t -> compact_stats
+(** Rewrite the live records (sorted by key — deterministic) into a
+    fresh [PPSTOR02] segment: write [store.ppck.tmp], fsync, then
+    atomically [rename] it over [store.ppck] and reopen the append
+    channel.  The old segment is authoritative until the rename — the
+    single commit point — so a SIGKILL at any instruction leaves either
+    the complete old segment or the complete new one; a leftover [.tmp]
+    is discarded by the next {!open_}.  Requires the store open; the
+    held {!Lockfile} already excludes other writers.  Counters:
+    [store.compactions], [store.reclaimed_bytes].
+
+    [on_step] is the chaos-test kill seam: [0] before the tmp exists,
+    [i] after the i-th live record, [live+1] after the fsync (just
+    before the rename), [live+2] after the rename. *)
+
 (* -- the process-wide active store ---------------------------------- *)
 
 val set_active : t option -> unit
@@ -79,7 +125,16 @@ val active : unit -> t option
 (* -- exposed for tests ----------------------------------------------- *)
 
 val magic : string
-(** ["PPSTOR01"]. *)
+(** ["PPSTOR01"] — append-grown journal. *)
+
+val magic_compacted : string
+(** ["PPSTOR02"] — compacted segment written by {!compact}. *)
 
 val store_name : string
 (** ["store.ppck"]. *)
+
+val encode_record : ns:string -> key:string -> value:string -> string
+(** The raw on-disk bytes of one record ([value] is the already-encoded
+    payload, e.g. a [Marshal] string) — exposed so tests and the chaos
+    harness can synthesize duplicate (dead) or torn records without
+    replicating the binary format. *)

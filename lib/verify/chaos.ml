@@ -1,0 +1,655 @@
+(* Seeded chaos campaign: deterministically compose the failure
+   machinery the codebase already owns — Faultpoint arms, SIGKILL via
+   the re-exec child pattern, torn store tails, concurrent socket
+   clients, deadline expiries — and assert the invariants that define
+   it: no hang, structured errors only, the store never loses a live
+   record, restart+replay byte-identical to a clean run.
+
+   Determinism is the design constraint, exactly as for Faultpoint:
+   every scenario parameter (query mixes, kill indices, record counts,
+   compaction kill steps) derives from a splitmix64 stream seeded by
+   the campaign seed, children SIGKILL *themselves* at seeded points
+   (never "after T milliseconds"), and check details carry only seeded
+   values — so a campaign report is byte-identical across runs and at
+   any [--jobs]. *)
+
+module Engine = Nmcache_engine
+module Service = Core.Service
+module Json = Engine.Json
+module Store = Engine.Store
+module Server = Engine.Server
+module Faultpoint = Engine.Faultpoint
+module Deadline = Engine.Deadline
+module Pool = Engine.Pool
+
+let child_env = "PPCACHE_CHAOS_CHILD"
+
+(* --- seeded PRNG ------------------------------------------------------ *)
+
+(* splitmix64: exact 64-bit arithmetic, stable across platforms *)
+let mk_rng seed =
+  let state = ref (Int64.of_int ((seed + 1) * 0x9E3779B9)) in
+  fun bound ->
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    to_int (rem (logand z max_int) (of_int bound))
+
+(* --- filesystem helpers ---------------------------------------------- *)
+
+let tmpdir () =
+  let f = Filename.temp_file "ppchaos" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+(* --- query builders --------------------------------------------------- *)
+
+let amat_query ~id ~m1c =
+  Printf.sprintf
+    {|{"id":%S,"op":"amat","t_l1_ps":500,"t_l2_ps":2000,"t_mem_ps":60000,"m1":0.0%d,"m2":0.3}|}
+    id
+    ((m1c mod 9) + 1)
+
+let curve_query ~id ~l1 =
+  Printf.sprintf
+    {|{"id":%S,"op":"miss_curve","workload":"tpcc","l1_kb":%d,"l2_kb":[64],"n":20000}|}
+    id l1
+
+(* --- response predicates ---------------------------------------------- *)
+
+let parse_response line =
+  match Json.parse line with Ok j -> Some j | Error _ -> None
+
+let is_structured line =
+  match parse_response line with
+  | None -> false
+  | Some j ->
+    Json.member "serve_schema_version" j <> None
+    && (Json.member "result" j <> None || Json.member "error" j <> None)
+
+let error_kind line =
+  match parse_response line with
+  | None -> None
+  | Some j ->
+    Option.bind (Json.member "error" j) (fun e ->
+        Option.bind (Json.member "kind" e) Json.to_str)
+
+(* --- child modes ------------------------------------------------------- *)
+
+(* Child specs (the re-exec pattern: OCaml 5 forbids fork after a
+   domain exists, so chaos children are fresh processes dispatched in
+   the binary's main before anything else runs):
+
+   - "serve:<store_dir>:<query_file>:<out_file>:<kill_after>" — answer
+     the query file line by line (settle, write, flush), SIGKILLing
+     ourselves immediately after response number <kill_after>.
+   - "compact:<store_dir>:<kill_step>" — open the store and compact,
+     SIGKILLing ourselves at compaction step <kill_step> (a step
+     beyond the last one lets compaction complete; exit 0). *)
+
+let self_kill () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let child_main spec =
+  match String.split_on_char ':' spec with
+  | [ "serve"; store_dir; query_file; out_file; kill_after ] ->
+    let kill_after = int_of_string kill_after in
+    let store = Store.open_ ~dir:store_dir in
+    let ctx = Core.Context.quick () in
+    let service = Service.create ~store ~ctx ~queue:8 ~jobs:1 () in
+    let ic = open_in query_file in
+    let oc = open_out_bin out_file in
+    let answered = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         let resp, settle = Service.handle_line service line in
+         settle ();
+         output_string oc resp;
+         output_char oc '\n';
+         flush oc;
+         incr answered;
+         if !answered = kill_after then self_kill ()
+       done
+     with End_of_file -> ());
+    close_out oc;
+    close_in ic;
+    Store.close store
+  | [ "compact"; store_dir; kill_step ] ->
+    let kill_step = int_of_string kill_step in
+    let store = Store.open_ ~dir:store_dir in
+    let _ =
+      Store.compact ~on_step:(fun i -> if i = kill_step then self_kill ()) store
+    in
+    Store.close store
+  | _ -> failwith ("bad " ^ child_env ^ " spec: " ^ spec)
+
+(* Spawn ourselves in child mode and wait, bounded: "no hang" is an
+   invariant, so a child that outlives the watchdog is killed and
+   reported as a failure, never waited on forever. *)
+type child_exit = Killed | Exited of int | Hung
+
+let run_child spec =
+  let env =
+    Array.append
+      (Array.of_list
+         (List.filter
+            (fun kv ->
+              not
+                (String.length kv >= 15
+                && String.sub kv 0 15 = "PPCACHE_FAULTS="))
+            (Array.to_list (Unix.environment ()))))
+      [| child_env ^ "=" ^ spec |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stderr Unix.stderr
+  in
+  let deadline_polls = 1200 (* x 50 ms = 60 s watchdog *) in
+  let rec wait polls =
+    if polls = 0 then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      Hung
+    end
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        Unix.sleepf 0.05;
+        wait (polls - 1)
+      | _, Unix.WSIGNALED s when s = Sys.sigkill -> Killed
+      | _, Unix.WEXITED c -> Exited c
+      | _, _ -> Exited (-1)
+  in
+  wait deadline_polls
+
+(* --- scenario: poison + deadline -------------------------------------- *)
+
+(* Faultpoint-armed service: a seeded fraction of requests is poisoned
+   at [serve.request]; every response must stay structured, poisoned
+   requests must surface as [injected] errors, and a zero-budget
+   deadline must surface as [timed_out] — all counts pure functions of
+   the seed. *)
+let scenario_poison ~seed ctx =
+  let name suffix = Printf.sprintf "chaos.seed%d.poison.%s" seed suffix in
+  let rng = mk_rng seed in
+  let prev_spec = Faultpoint.spec () in
+  let pct = 20 + rng 50 in
+  let fseed = rng 10_000 in
+  let arm = Printf.sprintf "serve.request:0.%02d,seed:%d" pct fseed in
+  (match Faultpoint.configure arm with
+  | Ok () -> ()
+  | Error e -> failwith ("chaos: bad faultpoint spec: " ^ e));
+  Fun.protect
+    ~finally:(fun () ->
+      match prev_spec with
+      | Some s -> ignore (Faultpoint.configure s)
+      | None -> Faultpoint.clear ())
+    (fun () ->
+      let service = Service.create ~ctx ~queue:8 ~jobs:1 () in
+      let n = 12 + rng 8 in
+      let lines =
+        List.init n (fun i ->
+            if i mod 5 = 4 then Printf.sprintf "{malformed json %d" i
+            else amat_query ~id:(Printf.sprintf "s%d-q%d" seed i) ~m1c:(rng 9))
+      in
+      let responses =
+        List.map
+          (fun line ->
+            let resp, settle = Service.handle_line service line in
+            settle ();
+            resp)
+          lines
+      in
+      let structured = List.for_all is_structured responses in
+      let count k =
+        List.length
+          (List.filter (fun r -> error_kind r = Some k) responses)
+      in
+      let injected = count "injected" in
+      let bad = count "bad_request" in
+      let open_ = count "circuit_open" in
+      let ok =
+        List.length
+          (List.filter
+             (fun r ->
+               match parse_response r with
+               | Some j -> Json.member "result" j <> None
+               | None -> false)
+             responses)
+      in
+      (* a zero-budget deadline around a simulating query must settle
+         as a structured timed_out error, not a crash — probed with the
+         poison disarmed (or the draw could answer [injected] first)
+         and a fresh service (or a tripped breaker could answer
+         [circuit_open]); the outer protect still restores the caller's
+         spec *)
+      Faultpoint.clear ();
+      let timed_service = Service.create ~ctx ~queue:8 ~jobs:1 () in
+      (* a seed-unique trace length, so the profile can never be served
+         from the context's memo (a cached curve needs no simulation
+         and would answer before any deadline poll) *)
+      let timed_resp, timed_settle =
+        Deadline.with_budget ~budget_s:0.0 (fun () ->
+            Service.handle_line timed_service
+              (Printf.sprintf
+                 {|{"id":"s%d-deadline","op":"miss_curve","workload":"tpcc","l1_kb":4,"l2_kb":[64],"n":%d}|}
+                 seed
+                 (30_000 + (seed * 1_000))))
+      in
+      timed_settle ();
+      let timed_out = error_kind timed_resp = Some "timed_out" in
+      [
+        Check.check ~name:(name "structured") structured
+          (Printf.sprintf "%d/%d responses structured under %d%% poison" ok n
+             pct);
+        Check.check ~name:(name "accounted")
+          (ok + injected + bad + open_ = n)
+          (Printf.sprintf
+             "%d ok + %d injected + %d bad_request + %d circuit_open = %d lines"
+             ok injected bad open_ n);
+        Check.check ~name:(name "deadline") timed_out
+          "zero-budget miss_curve settles as timed_out";
+      ])
+
+(* --- scenario: SIGKILL mid-serve, restart, replay ---------------------- *)
+
+let scenario_kill_serve ~seed ctx =
+  let name suffix = Printf.sprintf "chaos.seed%d.kill_serve.%s" seed suffix in
+  let rng = mk_rng (seed + 101) in
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let n = 6 + rng 6 in
+      let lines =
+        List.init n (fun i ->
+            let id = Printf.sprintf "s%d-k%d" seed i in
+            if i = 0 || i = n - 1 then curve_query ~id ~l1:(4 * (1 + (i mod 2)))
+            else amat_query ~id ~m1c:(rng 9))
+      in
+      let kill_after = 1 + rng (n - 1) in
+      (* clean reference: a fresh store, every line answered *)
+      let ref_store = Store.open_ ~dir:(Filename.concat dir "ref") in
+      let ref_service = Service.create ~store:ref_store ~ctx ~queue:8 ~jobs:1 () in
+      let reference =
+        List.map
+          (fun line ->
+            let resp, settle = Service.handle_line ref_service line in
+            settle ();
+            resp)
+          lines
+      in
+      Store.close ref_store;
+      (* child: same lines against its own store, killed after
+         [kill_after] responses *)
+      let store_dir = Filename.concat dir "st" in
+      let qfile = Filename.concat dir "queries.ndjson" in
+      let out = Filename.concat dir "child.out" in
+      write_file qfile (String.concat "" (List.map (fun l -> l ^ "\n") lines));
+      let spec =
+        Printf.sprintf "serve:%s:%s:%s:%d" store_dir qfile out kill_after
+      in
+      let exit = run_child spec in
+      let child_lines =
+        if Sys.file_exists out then
+          String.split_on_char '\n' (In_channel.with_open_bin out In_channel.input_all)
+          |> List.filter (fun l -> l <> "")
+        else []
+      in
+      let prefix_ok =
+        List.length child_lines = kill_after
+        && List.for_all2
+             (fun a b -> String.equal a b)
+             child_lines
+             (List.filteri (fun i _ -> i < kill_after) reference)
+      in
+      (* restart on the killed store: the stale lock is broken, the
+         torn tail (if any) dropped, and the full replay must be
+         byte-identical to the clean reference *)
+      let store2 = Store.open_ ~dir:store_dir in
+      let service2 = Service.create ~store:store2 ~ctx ~queue:8 ~jobs:1 () in
+      let restarted =
+        List.map
+          (fun line ->
+            let resp, settle = Service.handle_line service2 line in
+            settle ();
+            resp)
+          lines
+      in
+      Store.close store2;
+      [
+        Check.check ~name:(name "killed") (exit = Killed)
+          (Printf.sprintf "child SIGKILLed itself after %d/%d responses"
+             kill_after n);
+        Check.check ~name:(name "prefix") prefix_ok
+          (Printf.sprintf "%d child responses = reference prefix" kill_after);
+        Check.check ~name:(name "restart")
+          (List.for_all2 String.equal reference restarted)
+          (Printf.sprintf "restart replay of %d lines byte-identical" n);
+      ])
+
+(* --- scenario: torn tails + dead records + compaction ------------------ *)
+
+let scenario_torn_store ~seed _ctx =
+  let name suffix = Printf.sprintf "chaos.seed%d.torn_store.%s" seed suffix in
+  let rng = mk_rng (seed + 202) in
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let live = 3 + rng 5 in
+      let dead = 1 + rng 3 in
+      let key i = Printf.sprintf "k%d" i in
+      let value i = Printf.sprintf "value-%d-%d" seed i in
+      let store = Store.open_ ~dir in
+      for i = 0 to live - 1 do
+        Store.add store ~ns:"chaos" ~key:(key i) (value i)
+      done;
+      let path = Store.path store in
+      Store.close store;
+      (* dead records: duplicates of live keys with a different payload
+         — first write wins, so these must never surface *)
+      for d = 0 to dead - 1 do
+        append_raw path
+          (Store.encode_record ~ns:"chaos" ~key:(key (d mod live))
+             ~value:(Marshal.to_string "shadowed" []))
+      done;
+      (* torn tail: a seeded prefix of one more record *)
+      let torn =
+        Store.encode_record ~ns:"chaos" ~key:"torn" ~value:(Marshal.to_string "torn" [])
+      in
+      let cut = 1 + rng (String.length torn - 1) in
+      append_raw path (String.sub torn 0 cut);
+      let store = Store.open_ ~dir in
+      let all_live () =
+        List.for_all
+          (fun i ->
+            Store.lookup store ~ns:"chaos" ~key:(key i) = Some (value i))
+          (List.init live Fun.id)
+      in
+      let survived = all_live () in
+      let tail_dropped = Store.dropped_tail store in
+      let dead_seen = Store.dead_records store = dead in
+      let stats = Store.compact store in
+      let after_compact =
+        all_live ()
+        && Store.dead_records store = 0
+        && Store.dead_bytes store = 0
+        && stats.Store.reclaimed_records = dead
+        && Store.segment_version store = 2
+      in
+      Store.close store;
+      (* reopen the compacted segment *)
+      let store = Store.open_ ~dir in
+      let reopened =
+        Store.entries store = live
+        && Store.segment_version store = 2
+        && (not (Store.dropped_tail store))
+        && List.for_all
+             (fun i ->
+               Store.lookup store ~ns:"chaos" ~key:(key i) = Some (value i))
+             (List.init live Fun.id)
+      in
+      Store.close store;
+      [
+        Check.check ~name:(name "replay")
+          (survived && tail_dropped && dead_seen)
+          (Printf.sprintf
+             "%d live kept, %d dead shadowed, torn tail (%d bytes) dropped"
+             live dead cut);
+        Check.check ~name:(name "compact") after_compact
+          (Printf.sprintf "compaction reclaimed %d dead, changed no get" dead);
+        Check.check ~name:(name "reopen") reopened
+          (Printf.sprintf "PPSTOR02 reopen: %d live records" live);
+      ])
+
+(* --- scenario: SIGKILL mid-compaction ---------------------------------- *)
+
+let scenario_kill_compact ~seed ctx =
+  let name suffix = Printf.sprintf "chaos.seed%d.kill_compact.%s" seed suffix in
+  let rng = mk_rng (seed + 303) in
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let live = 3 + rng 5 in
+      let dead = 1 + rng 3 in
+      let key i = Printf.sprintf "k%d" i in
+      let value i = Printf.sprintf "value-%d-%d" seed i in
+      let store_dir = Filename.concat dir "st" in
+      let store = Store.open_ ~dir:store_dir in
+      for i = 0 to live - 1 do
+        Store.add store ~ns:"chaos" ~key:(key i) (value i)
+      done;
+      let path = Store.path store in
+      Store.close store;
+      for d = 0 to dead - 1 do
+        append_raw path
+          (Store.encode_record ~ns:"chaos" ~key:(key (d mod live))
+             ~value:(Marshal.to_string "shadowed" []))
+      done;
+      (* kill at any compaction step: before the tmp, after any record,
+         after the fsync, or just after the rename *)
+      let step = rng (live + 3) in
+      let exit = run_child (Printf.sprintf "compact:%s:%d" store_dir step) in
+      let exit_ok =
+        match exit with Killed -> true | Exited 0 -> true | _ -> false
+      in
+      (* whatever the kill point: reopen must see every live record
+         with its first-written value, and a serve query must answer *)
+      let store = Store.open_ ~dir:store_dir in
+      let lossless =
+        Store.entries store = live
+        && List.for_all
+             (fun i ->
+               Store.lookup store ~ns:"chaos" ~key:(key i) = Some (value i))
+             (List.init live Fun.id)
+      in
+      let service = Service.create ~store ~ctx ~queue:8 ~jobs:1 () in
+      let resp, settle =
+        Service.handle_line service
+          (amat_query ~id:(Printf.sprintf "s%d-post" seed) ~m1c:3)
+      in
+      settle ();
+      let serve_ok = is_structured resp && error_kind resp = None in
+      (* a clean compaction afterwards still reclaims whatever the
+         killed one left behind *)
+      let _ = Store.compact store in
+      let after =
+        Store.dead_records store = 0
+        && Store.entries store = live
+        && Store.segment_version store = 2
+      in
+      Store.close store;
+      [
+        Check.check ~name:(name "exit") exit_ok
+          (Printf.sprintf "child killed at compaction step %d/%d" step
+             (live + 2));
+        Check.check ~name:(name "lossless") lossless
+          (Printf.sprintf "%d live records survive (%d dead on disk)" live dead);
+        Check.check ~name:(name "serve") serve_ok "post-kill serve answers";
+        Check.check ~name:(name "recompact") after
+          "clean compaction converges to a dead-free PPSTOR02";
+      ])
+
+(* --- scenario: concurrent socket clients + shedding --------------------- *)
+
+let scenario_concurrent ~seed ctx =
+  let name suffix = Printf.sprintf "chaos.seed%d.concurrent.%s" seed suffix in
+  let rng = mk_rng (seed + 404) in
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let clients = 3 in
+      let per_client = 3 + rng 4 in
+      let slices =
+        List.init clients (fun c ->
+            List.init per_client (fun i ->
+                amat_query
+                  ~id:(Printf.sprintf "s%d-c%d-q%d" seed c i)
+                  ~m1c:(rng 9)))
+      in
+      (* solo reference per slice: amat is stateless, so a fresh
+         service answers exactly what the shared server must *)
+      let reference =
+        List.map
+          (fun slice ->
+            let service = Service.create ~ctx ~queue:8 ~jobs:1 () in
+            List.map
+              (fun line ->
+                let resp, settle = Service.handle_line service line in
+                settle ();
+                resp)
+              slice)
+          slices
+      in
+      let sock_path = Filename.concat dir "chaos.sock" in
+      let service = Service.create ~ctx ~queue:8 ~jobs:1 () in
+      Server.reset_drain ();
+      let server =
+        Thread.create
+          (fun () ->
+            Server.serve_unix_socket ~queue:8 ~max_conns:clients
+              ~write_timeout:10. ~pool:Pool.sequential
+              ~handler:(Service.handler service)
+              ~crash_response:Service.crash_response
+              ~overlong_response:Service.overlong_response
+              ~shed_response:Service.shed_response ~path:sock_path ())
+          ()
+      in
+      let rec await_sock tries =
+        if tries = 0 then failwith "chaos: socket never appeared";
+        if not (Sys.file_exists sock_path) then begin
+          Unix.sleepf 0.02;
+          await_sock (tries - 1)
+        end
+      in
+      await_sock 500;
+      (* phase barrier: every client connects and completes one
+         round-trip (so all connection slots are provably occupied),
+         then the main thread probes the shed path, then clients drain
+         their remaining lines *)
+      let m = Mutex.create () in
+      let cv = Condition.create () in
+      let ready = ref 0 in
+      let go = ref false in
+      let results = Array.make clients [] in
+      let client c slice =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock_path);
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        let first, rest =
+          match slice with x :: r -> (x, r) | [] -> assert false
+        in
+        output_string oc (first ^ "\n");
+        flush oc;
+        let r0 = input_line ic in
+        Mutex.protect m (fun () ->
+            incr ready;
+            Condition.broadcast cv;
+            while not !go do
+              Condition.wait cv m
+            done);
+        List.iter (fun l -> output_string oc (l ^ "\n")) rest;
+        flush oc;
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let rec read_all acc =
+          match input_line ic with
+          | l -> read_all (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let others = read_all [] in
+        results.(c) <- r0 :: others;
+        close_in_noerr ic
+      in
+      let threads =
+        List.mapi (fun c slice -> Thread.create (fun () -> client c slice) ()) slices
+      in
+      Mutex.protect m (fun () ->
+          while !ready < clients do
+            Condition.wait cv m
+          done);
+      (* all slots held: one more connection must be shed with exactly
+         one overloaded line *)
+      let shed_line =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock_path);
+        let ic = Unix.in_channel_of_descr fd in
+        let line = try Some (input_line ic) with End_of_file -> None in
+        let eof = try ignore (input_line ic); false with End_of_file -> true in
+        close_in_noerr ic;
+        (line, eof)
+      in
+      Mutex.protect m (fun () ->
+          go := true;
+          Condition.broadcast cv);
+      List.iter Thread.join threads;
+      Server.request_drain ();
+      Thread.join server;
+      Server.reset_drain ();
+      let identical =
+        List.for_all2
+          (fun c ref_slice ->
+            List.length results.(c) = List.length ref_slice
+            && List.for_all2 String.equal results.(c) ref_slice)
+          (List.init clients Fun.id)
+          reference
+      in
+      let shed_ok =
+        match shed_line with
+        | Some l, true -> String.equal l (Service.shed_response ())
+        | _ -> false
+      in
+      [
+        Check.check ~name:(name "streams") identical
+          (Printf.sprintf
+             "%d concurrent clients x %d lines byte-identical to solo runs"
+             clients per_client);
+        Check.check ~name:(name "shed") shed_ok
+          "connection beyond max_conns shed with one overloaded line";
+      ])
+
+(* --- the campaign ------------------------------------------------------ *)
+
+let scenarios =
+  [|
+    ("poison", scenario_poison);
+    ("kill_serve", scenario_kill_serve);
+    ("torn_store", scenario_torn_store);
+    ("kill_compact", scenario_kill_compact);
+    ("concurrent", scenario_concurrent);
+  |]
+
+let campaign ?(seeds = 10) ctx =
+  if seeds < 1 then invalid_arg "Chaos.campaign: seeds < 1";
+  List.concat
+    (List.init seeds (fun seed ->
+         let label, scenario = scenarios.(seed mod Array.length scenarios) in
+         Check.group
+           ~name:(Printf.sprintf "chaos.seed%d.%s" seed label)
+           (fun () -> scenario ~seed ctx)))

@@ -1,0 +1,60 @@
+(** Seeded chaos campaign: composed failure injection with
+    deterministic verdicts.
+
+    Each campaign seed drives one scenario family (round-robin by
+    [seed mod 5]) with every parameter — query mixes, kill indices,
+    dead-record counts, torn-tail cut points, compaction kill steps —
+    drawn from a splitmix64 stream of that seed:
+
+    - {b poison}: a {!Nmcache_engine.Faultpoint}-armed service under a
+      seeded poison rate plus malformed lines and a zero-budget
+      deadline — every response structured, every outcome accounted;
+    - {b kill_serve}: a re-exec'd child server SIGKILLs itself
+      mid-stream; its answered prefix must match a clean run, and a
+      restart over its (possibly torn) store must replay the full
+      stream byte-identically;
+    - {b torn_store}: dead duplicate records and a torn tail appended
+      raw to a store journal — first write wins, the tail drops,
+      compaction reclaims without changing a single get;
+    - {b kill_compact}: a child SIGKILLs itself at a seeded compaction
+      step (before the tmp, mid-record, post-fsync, post-rename) — no
+      live record is ever lost, and serve still answers;
+    - {b concurrent}: simultaneous socket clients with a phase barrier
+      holding every connection slot — per-client streams byte-identical
+      to solo runs, and the connection beyond [max_conns] is shed with
+      exactly one [overloaded] line.
+
+    The invariants asserted are the serve/store contract: no hang
+    (children run under a watchdog), structured errors only, the store
+    never loses a live record, restart + replay is byte-identical.
+    Check details carry only seeded values — never PIDs, paths or
+    timings — so a campaign report is byte-identical across runs and
+    at any [--jobs]. *)
+
+val child_env : string
+(** ["PPCACHE_CHAOS_CHILD"] — when set in the environment, the binary
+    must call {!child_main} with its value before doing anything else
+    (OCaml 5 forbids [fork] once a domain has been spawned, so chaos
+    children are fresh re-execs of [Sys.executable_name]). *)
+
+val child_main : string -> unit
+(** Run one child mode and return (the caller exits 0):
+
+    - ["serve:<store_dir>:<query_file>:<out_file>:<kill_after>"] —
+      answer the query file line by line against the store, flushing
+      per response, and SIGKILL ourselves immediately after response
+      number [kill_after];
+    - ["compact:<store_dir>:<kill_step>"] — compact the store,
+      SIGKILLing ourselves at {!Nmcache_engine.Store.compact}'s
+      [on_step = kill_step] (a step past the last lets compaction
+      complete).
+
+    Raises [Failure] on an unrecognised spec. *)
+
+val campaign : ?seeds:int -> Core.Context.t -> Check.t list
+(** Run [seeds] (default 10, >= 1) seeded scenarios — seed [s] runs
+    scenario family [s mod 5] — and return their checks.  A scenario
+    that raises is folded into a single crashed check by
+    {!Check.group}; fault-injection and deadline state are restored
+    even then, so a campaign never leaks configuration into later
+    verify sections.  Raises [Invalid_argument] when [seeds < 1]. *)

@@ -23,6 +23,13 @@ let () =
   | Some spec -> Test_stream.stream_child_main spec; exit 0
   | None -> ()
 
+(* Child mode for the lockfile TOCTOU race: two children barrier in
+   the stale-break window, then race to break one stale lock. *)
+let () =
+  match Sys.getenv_opt Test_robustness.lock_child_env with
+  | Some spec -> Test_robustness.lock_child_main spec; exit 0
+  | None -> ()
+
 let () =
   Alcotest.run "nmcache"
     [
@@ -43,6 +50,7 @@ let () =
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
+      ("robustness", Test_robustness.suite);
       ("stream", Test_stream.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
